@@ -1,0 +1,47 @@
+//! Analytic performance models for group rekeying, reproducing the
+//! evaluation of *"Performance Optimizations for Group Key Management
+//! Schemes for Secure Multicast"* (Zhu, Setia, Jajodia; ICDCS 2003).
+//!
+//! The paper's evaluation is entirely model-driven; this crate
+//! implements each model:
+//!
+//! - [`appendix_a`] — the batched-rekey cost `Ne(N, L)`: expected
+//!   number of encrypted keys the server transmits when `L` of `N`
+//!   members are revoked in one batch (paper Appendix A, after
+//!   \[YLZL01\]), for both the idealized full balanced tree and the
+//!   exact shape of a balanced but partially-full tree.
+//! - [`partition`] — the two-class open queueing model of §3.3.1
+//!   (Fig. 2) and the steady-state rekey costs of the one-keytree,
+//!   QT, TT and PT schemes (equations (1)–(10)); drives Figs. 3–5.
+//! - [`appendix_b`] — the WKA-BKR reliable-transport bandwidth model
+//!   `E[V]` (paper Appendix B, after \[SZJ02\]) generalized to
+//!   heterogeneous per-receiver loss and key forests; drives
+//!   Figs. 6–7.
+//! - [`fec_model`] — a proactive-FEC transport cost model in the
+//!   spirit of \[YLZL01\], used for the §4.4 extension result.
+//! - [`math`] — supporting special functions (log-gamma, binomials)
+//!   implemented from scratch.
+//!
+//! # Example
+//!
+//! Reproduce one point of Fig. 3 (the one-keytree cost under the
+//! Table 1 defaults):
+//!
+//! ```
+//! use rekey_analytic::partition::PartitionParams;
+//!
+//! let params = PartitionParams::paper_default();
+//! let cost = params.cost_one_keytree();
+//! // The paper's Fig. 3 shows ~1.65e4 keys per rekey interval.
+//! assert!((15_000.0..18_000.0).contains(&cost));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod appendix_a;
+pub mod appendix_b;
+pub mod fec_model;
+pub mod math;
+pub mod partition;
+pub mod probabilistic;

@@ -1,0 +1,190 @@
+//! Special functions used by the analytic models.
+//!
+//! Implemented from scratch (no external math crates): Lanczos
+//! log-gamma, log-binomial coefficients with real arguments, and exact
+//! binomial distributions for the FEC model.
+
+/// Lanczos approximation coefficients (g = 7, n = 9).
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_1,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural log of the gamma function for `x > 0`.
+///
+/// Accurate to ~1e-13 relative error over the range used by the
+/// models (arguments up to ~1e6).
+///
+/// # Panics
+///
+/// Panics if `x <= 0` (the models never need the reflection branch).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1-x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS[0];
+    for (i, &c) in LANCZOS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + LANCZOS_G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// `ln C(n, k)` with real-valued `n >= k >= 0`.
+///
+/// Returns negative infinity when the coefficient is zero
+/// (`k > n` or negative arguments).
+pub fn ln_choose(n: f64, k: f64) -> f64 {
+    if k < 0.0 || k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0.0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n + 1.0) - ln_gamma(k + 1.0) - ln_gamma(n - k + 1.0)
+}
+
+/// Probability that a key node covering `s` of `n` members is updated
+/// when `l` members are revoked uniformly at random — equation (11):
+/// `1 - C(n - s, l) / C(n, l)`, generalized to real `l`.
+pub fn p_update(n: f64, s: f64, l: f64) -> f64 {
+    if l <= 0.0 || s <= 0.0 {
+        return 0.0;
+    }
+    if n - s < l {
+        return 1.0;
+    }
+    let log_ratio = ln_choose(n - s, l) - ln_choose(n, l);
+    (1.0 - log_ratio.exp()).clamp(0.0, 1.0)
+}
+
+/// Exact binomial probability mass function `P[X = k]`,
+/// `X ~ Binomial(n, p)`.
+pub fn binomial_pmf(n: u32, k: u32, p: f64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    if p <= 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p >= 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    let ln = ln_choose(n as f64, k as f64)
+        + (k as f64) * p.ln()
+        + ((n - k) as f64) * (1.0 - p).ln();
+    ln.exp()
+}
+
+/// The full binomial pmf vector `[P[X=0], …, P[X=n]]`.
+pub fn binomial_distribution(n: u32, p: f64) -> Vec<f64> {
+    (0..=n).map(|k| binomial_pmf(n, k, p)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        let mut fact = 1.0f64;
+        for n in 1..15u32 {
+            if n > 1 {
+                fact *= (n - 1) as f64;
+            }
+            assert!(
+                close(ln_gamma(n as f64), fact.ln(), 1e-12),
+                "ln_gamma({n}) = {} vs {}",
+                ln_gamma(n as f64),
+                fact.ln()
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = sqrt(π).
+        assert!(close(
+            ln_gamma(0.5),
+            std::f64::consts::PI.sqrt().ln(),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn ln_gamma_large_argument() {
+        // Stirling cross-check at x = 1e6.
+        let x = 1e6f64;
+        let stirling =
+            (x - 0.5) * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI).ln() + 1.0 / (12.0 * x);
+        assert!(close(ln_gamma(x), stirling, 1e-10));
+    }
+
+    #[test]
+    fn ln_choose_small_cases() {
+        assert!(close(ln_choose(5.0, 2.0), 10f64.ln(), 1e-12));
+        assert!(close(ln_choose(10.0, 5.0), 252f64.ln(), 1e-12));
+        assert_eq!(ln_choose(3.0, 4.0), f64::NEG_INFINITY);
+        assert_eq!(ln_choose(3.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn p_update_matches_direct_product() {
+        // Compare against the direct product form for integer l.
+        let (n, s, l) = (65536.0, 256.0, 100.0);
+        let mut ratio = 1.0f64;
+        for j in 0..100 {
+            ratio *= (n - s - j as f64) / (n - j as f64);
+        }
+        assert!(close(p_update(n, s, l), 1.0 - ratio, 1e-9));
+    }
+
+    #[test]
+    fn p_update_boundaries() {
+        assert_eq!(p_update(100.0, 10.0, 0.0), 0.0);
+        assert_eq!(p_update(100.0, 100.0, 1.0), 1.0); // covers everyone
+        assert!(p_update(100.0, 1.0, 100.0) > 0.999);
+        // Monotone in s.
+        assert!(p_update(1000.0, 50.0, 10.0) > p_update(1000.0, 5.0, 10.0));
+        // Monotone in l.
+        assert!(p_update(1000.0, 50.0, 20.0) > p_update(1000.0, 50.0, 10.0));
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        for &(n, p) in &[(10u32, 0.2f64), (50, 0.02), (64, 0.5)] {
+            let sum: f64 = binomial_distribution(n, p).iter().sum();
+            assert!(close(sum, 1.0, 1e-10), "n={n} p={p} sum={sum}");
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_known_value() {
+        // P[X=2], X ~ B(4, 0.5) = 6/16.
+        assert!(close(binomial_pmf(4, 2, 0.5), 0.375, 1e-12));
+    }
+
+    #[test]
+    fn binomial_degenerate_p() {
+        assert_eq!(binomial_pmf(5, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(5, 5, 1.0), 1.0);
+        assert_eq!(binomial_pmf(5, 3, 0.0), 0.0);
+    }
+}

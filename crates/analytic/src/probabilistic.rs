@@ -1,0 +1,219 @@
+//! Probabilistic key-tree organization (\[SMS00\], discussed in the
+//! paper's §2.3 and the inspiration for the PT-scheme).
+//!
+//! If the key server knows (or can guess) each member's revocation
+//! probability, it can organize the key tree like a Huffman code:
+//! members likely to be revoked sit near the root, so their eviction
+//! updates a short path. This module implements d-ary Huffman depth
+//! assignment and the expected single-eviction rekey cost of the
+//! resulting unbalanced tree, for comparison against the balanced
+//! tree the LKH baseline maintains.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A min-heap item: (weight, tree-node index).
+struct HeapItem {
+    weight: f64,
+    node: usize,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.weight == other.weight && self.node == other.node
+    }
+}
+impl Eq for HeapItem {}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed for a min-heap; ties broken by node index for
+        // determinism.
+        other
+            .weight
+            .partial_cmp(&self.weight)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Computes the depth of each member's leaf in the d-ary Huffman tree
+/// built over `weights` (relative revocation probabilities).
+///
+/// Standard d-ary Huffman: pad with zero-weight dummies so the first
+/// merge can take fewer than `d` items while all later merges take
+/// exactly `d`, guaranteeing optimality.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty, `d < 2`, or any weight is negative
+/// or non-finite.
+pub fn huffman_depths(weights: &[f64], d: usize) -> Vec<usize> {
+    assert!(!weights.is_empty(), "need at least one member");
+    assert!(d >= 2, "tree degree must be at least 2");
+    for &w in weights {
+        assert!(w.is_finite() && w >= 0.0, "invalid weight {w}");
+    }
+    let n = weights.len();
+    if n == 1 {
+        return vec![0];
+    }
+
+    // parent[i] links each merged node upward; leaves are 0..n.
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut heap: BinaryHeap<HeapItem> = weights
+        .iter()
+        .enumerate()
+        .map(|(node, &weight)| HeapItem { weight, node })
+        .collect();
+
+    // First merge takes r items, 2 <= r <= d, such that afterwards
+    // (remaining - 1) % (d - 1) == 0.
+    let mut first = (n - 1) % (d - 1);
+    if first != 0 {
+        first += 1; // merge (first) items
+    } else {
+        first = d;
+    }
+    let mut merge_size = first.min(n).max(2);
+
+    while heap.len() > 1 {
+        let take = merge_size.min(heap.len());
+        let mut weight = 0.0;
+        let mut children = Vec::with_capacity(take);
+        for _ in 0..take {
+            let item = heap.pop().expect("heap has items");
+            weight += item.weight;
+            children.push(item.node);
+        }
+        let new_node = parent.len();
+        parent.push(None);
+        for c in children {
+            parent[c] = Some(new_node);
+        }
+        heap.push(HeapItem {
+            weight,
+            node: new_node,
+        });
+        merge_size = d; // all later merges are full
+    }
+
+    (0..n)
+        .map(|leaf| {
+            let mut depth = 0;
+            let mut at = leaf;
+            while let Some(p) = parent[at] {
+                at = p;
+                depth += 1;
+            }
+            depth
+        })
+        .collect()
+}
+
+/// Expected encrypted keys per *single* eviction from the Huffman tree:
+/// the evicted member is member `m` with probability `w_m / Σw`, and
+/// its eviction updates its `depth_m` path keys, each encrypted under
+/// up to `d` children.
+pub fn expected_eviction_cost_huffman(weights: &[f64], d: usize) -> f64 {
+    let depths = huffman_depths(weights, d);
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    weights
+        .iter()
+        .zip(&depths)
+        .map(|(&w, &depth)| (w / total) * (d as f64) * depth as f64)
+        .sum()
+}
+
+/// Expected encrypted keys per single eviction from a balanced tree of
+/// `n` members: every member sits at depth `⌈log_d n⌉`.
+pub fn expected_eviction_cost_balanced(n: usize, d: usize) -> f64 {
+    assert!(n >= 1 && d >= 2);
+    if n == 1 {
+        return 0.0;
+    }
+    let h = (n as f64).log(d as f64).ceil();
+    d as f64 * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binary_textbook_example() {
+        // Weights 0.5, 0.25, 0.125, 0.125 → depths 1, 2, 3, 3.
+        let depths = huffman_depths(&[0.5, 0.25, 0.125, 0.125], 2);
+        assert_eq!(depths, vec![1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn uniform_weights_give_balanced_depths() {
+        let depths = huffman_depths(&[1.0; 16], 4);
+        assert!(depths.iter().all(|&d| d == 2), "{depths:?}");
+    }
+
+    #[test]
+    fn dary_padding_keeps_tree_tight() {
+        // 5 leaves, d = 3: (5-1) % 2 = 0 → first merge takes 3;
+        // optimal depths are [1, 1, 2, 2, 2] for uniform weights.
+        let depths = huffman_depths(&[1.0; 5], 3);
+        let max = *depths.iter().max().unwrap();
+        assert!(max <= 2, "{depths:?}");
+    }
+
+    #[test]
+    fn skewed_population_beats_balanced() {
+        // 1000 members; 10% churners are 50x more likely to be
+        // revoked. Huffman puts them near the root.
+        let mut weights = vec![1.0f64; 1000];
+        for w in weights.iter_mut().take(100) {
+            *w = 50.0;
+        }
+        let huff = expected_eviction_cost_huffman(&weights, 4);
+        let balanced = expected_eviction_cost_balanced(1000, 4);
+        assert!(
+            huff < balanced * 0.95,
+            "huffman {huff:.2} vs balanced {balanced:.2}"
+        );
+    }
+
+    #[test]
+    fn uniform_population_matches_balanced() {
+        let weights = vec![1.0f64; 4096];
+        let huff = expected_eviction_cost_huffman(&weights, 4);
+        let balanced = expected_eviction_cost_balanced(4096, 4);
+        assert!((huff - balanced).abs() / balanced < 0.05);
+    }
+
+    #[test]
+    fn high_weight_members_sit_higher() {
+        let depths = huffman_depths(&[100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0], 2);
+        let heavy = depths[0];
+        assert!(depths[1..].iter().all(|&d| d >= heavy));
+    }
+
+    #[test]
+    fn single_member_costs_nothing() {
+        assert_eq!(huffman_depths(&[3.0], 4), vec![0]);
+        assert_eq!(expected_eviction_cost_balanced(1, 4), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid weight")]
+    fn negative_weight_rejected() {
+        huffman_depths(&[1.0, -2.0], 2);
+    }
+
+    #[test]
+    fn zero_total_weight_is_zero_cost() {
+        assert_eq!(expected_eviction_cost_huffman(&[0.0, 0.0], 2), 0.0);
+    }
+}

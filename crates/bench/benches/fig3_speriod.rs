@@ -1,0 +1,70 @@
+//! Figure 3: impact of the S-period on key-server rekeying cost.
+//!
+//! X-axis: `K = Ts/Tp` from 0 to 20. Y-axis: encrypted keys per
+//! periodic rekey for the one-keytree, TT, QT and PT schemes, under
+//! the Table 1 defaults (N = 65536, d = 4, Tp = 60 s, Ms = 3 min,
+//! Ml = 3 h, α = 0.8).
+//!
+//! Paper landmarks reproduced: one-keytree flat at ≈1.65e4; TT up to
+//! ≈25% below it around K = 10; QT beats TT at small K and loses at
+//! large K; PT flat at ≈40% below.
+
+use rekey_analytic::partition::PartitionParams;
+use rekey_bench::{check_claim, fmt, print_table, write_csv};
+
+fn main() {
+    let base = PartitionParams::paper_default();
+    println!(
+        "Table 1 defaults: Tp={}s N={} d={} Ms={}s Ml={}s alpha={}",
+        base.rekey_period, base.group_size, base.degree, base.mean_short, base.mean_long, base.alpha
+    );
+
+    let headers = ["K", "one-keytree", "TT-scheme", "QT-scheme", "PT-scheme"];
+    let mut rows = Vec::new();
+    let mut at_k10 = None;
+    for k in 0..=20u32 {
+        let p = PartitionParams { k, ..base };
+        let c = p.costs();
+        if k == 10 {
+            at_k10 = Some(c);
+        }
+        rows.push(vec![
+            k.to_string(),
+            fmt(c.one_keytree, 0),
+            fmt(c.tt, 0),
+            fmt(c.qt, 0),
+            fmt(c.pt, 0),
+        ]);
+    }
+    print_table(
+        "Fig. 3 — rekeying cost (#keys) vs S-period K = Ts/Tp",
+        &headers,
+        &rows,
+    );
+    write_csv("fig3_speriod", &headers, &rows);
+
+    let c10 = at_k10.expect("K=10 computed");
+    check_claim(
+        "Fig. 3: TT reduction at K=10 (paper: up to 25%)",
+        1.0 - c10.tt / c10.one_keytree,
+        0.25,
+        0.03,
+    );
+    check_claim(
+        "Fig. 3: PT reduction (paper: up to 40%)",
+        1.0 - c10.pt / c10.one_keytree,
+        0.40,
+        0.04,
+    );
+    // Crossover: QT wins early, TT wins late.
+    let early = PartitionParams { k: 2, ..base }.costs();
+    assert!(early.qt < early.tt, "QT should win at K=2");
+    let late = PartitionParams { k: 16, ..base }.costs();
+    assert!(late.tt < late.qt, "TT should win at K=16");
+    println!("[claim OK] Fig. 3: QT/TT crossover in K reproduced");
+    // K=0 degenerates to the one-keytree scheme.
+    let k0 = PartitionParams { k: 0, ..base }.costs();
+    assert!((k0.tt - k0.one_keytree).abs() / k0.one_keytree < 1e-6);
+    assert!((k0.qt - k0.one_keytree).abs() / k0.one_keytree < 1e-6);
+    println!("[claim OK] Fig. 3: K=0 falls back to the one-keytree scheme");
+}

@@ -1,0 +1,93 @@
+//! Figure 7: impact of misplacing members when organizing the
+//! loss-homogenized key trees.
+//!
+//! A fraction β of the high-loss tree's members are actually low-loss
+//! and the same head count of the low-loss tree's members are actually
+//! high-loss (the key server mis-estimated their loss rates at join
+//! time). N = 65536, L = 256, d = 4, α = 0.2, p_h = 20%, p_l = 2%.
+//!
+//! Paper landmarks reproduced: the gain degrades as β grows; small β
+//! (≤ 0.1) still beats the one-keytree scheme; at β = 0.8 the scheme
+//! is no better than one keytree; β = 1.0 is better than β = 0.8
+//! (the "swapped" trees are loss-homogenized again, just mislabeled).
+
+use rekey_analytic::appendix_b::{ev_forest, ev_wka, ForestTree, LossMix};
+use rekey_bench::{fmt, print_table, write_csv};
+
+const N: u64 = 65536;
+const L: f64 = 256.0;
+const D: u32 = 4;
+const P_HIGH: f64 = 0.2;
+const P_LOW: f64 = 0.02;
+const ALPHA: f64 = 0.2;
+
+fn mis_partitioned(beta: f64) -> f64 {
+    let n_high = (ALPHA * N as f64).round() as u64;
+    let n_low = N - n_high;
+    // β of the nominal high tree is actually low-loss; the same head
+    // count of the nominal low tree is actually high-loss.
+    let moved = beta * n_high as f64;
+    let high_tree = LossMix::two_point(1.0 - beta, P_HIGH, P_LOW);
+    let low_tree = LossMix::two_point(moved / n_low as f64, P_HIGH, P_LOW);
+    ev_forest(
+        &[
+            ForestTree {
+                size: n_low,
+                mix: low_tree,
+            },
+            ForestTree {
+                size: n_high,
+                mix: high_tree,
+            },
+        ],
+        L,
+        D,
+    )
+}
+
+fn main() {
+    println!("N={N} L={L} d={D} alpha={ALPHA} p_high={P_HIGH} p_low={P_LOW}");
+    let one = ev_wka(N, L, D, &LossMix::two_point(ALPHA, P_HIGH, P_LOW));
+    let correct = mis_partitioned(0.0);
+
+    let headers = ["beta", "one-keytree", "mis-partitioned", "correct", "gain%"];
+    let mut rows = Vec::new();
+    for i in 0..=20 {
+        let beta = i as f64 / 20.0;
+        let mis = mis_partitioned(beta);
+        rows.push(vec![
+            fmt(beta, 2),
+            fmt(one, 0),
+            fmt(mis, 0),
+            fmt(correct, 0),
+            fmt(100.0 * (1.0 - mis / one), 1),
+        ]);
+    }
+    print_table(
+        "Fig. 7 — rekeying cost (#keys) vs fraction of misplaced receivers",
+        &headers,
+        &rows,
+    );
+    write_csv("fig7_misplacement", &headers, &rows);
+
+    assert!(correct < one, "correct partitioning must beat one keytree");
+    assert!(
+        mis_partitioned(0.1) < one,
+        "beta=0.1 should still beat the one-keytree scheme"
+    );
+    println!("[claim OK] Fig. 7: small misplacement (beta<=0.1) still wins");
+    assert!(
+        mis_partitioned(0.4) > mis_partitioned(0.1),
+        "cost should grow with beta"
+    );
+    assert!(
+        mis_partitioned(0.8) > one * 0.99,
+        "beta=0.8 should erase the benefit (paper: slightly worse than one keytree)"
+    );
+    println!("[claim OK] Fig. 7: beta=0.8 erases the benefit");
+    assert!(
+        mis_partitioned(1.0) < mis_partitioned(0.8),
+        "beta=1.0 should beat beta=0.8 (trees fully swapped are homogeneous again)"
+    );
+    println!("[claim OK] Fig. 7: beta=1.0 better than beta=0.8 (paper's closing observation)");
+}

@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks for the cryptographic substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rekey_crypto::{chacha20, hmac, keywrap, sha256, Key};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("digest_{size}B"), |b| {
+            b.iter(|| sha256::digest(std::hint::black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let data = vec![0u8; 1024];
+    c.bench_function("hmac_sha256_1KiB", |b| {
+        b.iter(|| hmac::hmac(b"key", std::hint::black_box(&data)))
+    });
+}
+
+fn bench_chacha20(c: &mut Criterion) {
+    let key = [7u8; 32];
+    let nonce = [9u8; 12];
+    let mut group = c.benchmark_group("chacha20");
+    for size in [64usize, 1500, 16 * 1024] {
+        let data = vec![0u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("encrypt_{size}B"), |b| {
+            b.iter(|| chacha20::encrypt(&key, &nonce, 0, std::hint::black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_keywrap(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let kek = Key::generate(&mut rng);
+    let payload = Key::generate(&mut rng);
+    c.bench_function("keywrap_wrap", |b| {
+        b.iter(|| keywrap::wrap_with_nonce(&kek, &payload, [3; 12]))
+    });
+    let wrapped = keywrap::wrap_with_nonce(&kek, &payload, [3; 12]);
+    c.bench_function("keywrap_unwrap", |b| {
+        b.iter(|| keywrap::unwrap(&kek, std::hint::black_box(&wrapped)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_hmac, bench_chacha20, bench_keywrap);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion benchmarks for key-tree operations: the key server's
+//! processing cost that periodic batching is designed to reduce.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rekey_crypto::Key;
+use rekey_keytree::member::GroupMember;
+use rekey_keytree::server::LkhServer;
+use rekey_keytree::MemberId;
+
+fn build_server(n: u64, rng: &mut StdRng) -> LkhServer {
+    let mut server = LkhServer::new(4, 0);
+    let joins: Vec<(MemberId, Key)> = (0..n)
+        .map(|i| (MemberId(i), Key::generate(rng)))
+        .collect();
+    server.apply_batch(&joins, &[], rng);
+    server
+}
+
+fn bench_single_ops(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let server = build_server(4096, &mut rng);
+
+    c.bench_function("lkh_single_leave_n4096", |b| {
+        b.iter_batched(
+            || (server.clone(), StdRng::seed_from_u64(1)),
+            |(mut s, mut r)| s.leave(MemberId(7), &mut r).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("lkh_single_join_n4096", |b| {
+        let ik = Key::generate(&mut rng);
+        b.iter_batched(
+            || (server.clone(), ik.clone(), StdRng::seed_from_u64(2)),
+            |(mut s, ik, mut r)| s.join(MemberId(999_999), ik, &mut r),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let server = build_server(4096, &mut rng);
+    let leavers: Vec<MemberId> = (0..64).map(|i| MemberId(i * 61)).collect();
+    let joins: Vec<(MemberId, Key)> = (0..64u64)
+        .map(|i| (MemberId(100_000 + i), Key::generate(&mut rng)))
+        .collect();
+
+    c.bench_function("lkh_batch_64in_64out_n4096", |b| {
+        b.iter_batched(
+            || (server.clone(), StdRng::seed_from_u64(4)),
+            |(mut s, mut r)| s.apply_batch(&joins, &leavers, &mut r),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_member_processing(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut server = LkhServer::new(4, 0);
+    let joins: Vec<(MemberId, Key)> = (0..4096)
+        .map(|i| (MemberId(i), Key::generate(&mut rng)))
+        .collect();
+    let bootstrap = server.apply_batch(&joins, &[], &mut rng);
+    let mut member = GroupMember::new(MemberId(17), joins[17].1.clone());
+    member.process(&bootstrap.message).unwrap();
+    let leavers: Vec<MemberId> = (0..64).map(|i| MemberId(1 + i * 61)).collect();
+    let update = server.apply_batch(&[], &leavers, &mut rng);
+
+    c.bench_function("member_process_batch_message", |b| {
+        b.iter_batched(
+            || member.clone(),
+            |mut m| m.process(&update.message).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_single_ops, bench_batch, bench_member_processing);
+criterion_main!(benches);

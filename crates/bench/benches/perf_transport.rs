@@ -1,0 +1,74 @@
+//! Criterion benchmarks for the reliable-transport substrate:
+//! Reed–Solomon coding and a full WKA-BKR delivery round.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rekey_crypto::Key;
+use rekey_keytree::server::LkhServer;
+use rekey_keytree::MemberId;
+use rekey_transport::interest::interest_map;
+use rekey_transport::loss::Population;
+use rekey_transport::rs::ReedSolomon;
+use rekey_transport::wka_bkr::{self, WkaBkrConfig};
+
+fn bench_reed_solomon(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let (k, m, shard_len) = (8usize, 4usize, 1400usize);
+    let data: Vec<Vec<u8>> = (0..k)
+        .map(|_| (0..shard_len).map(|_| rng.gen()).collect())
+        .collect();
+    let rs = ReedSolomon::new(k, m);
+
+    let mut group = c.benchmark_group("reed_solomon");
+    group.throughput(Throughput::Bytes((k * shard_len) as u64));
+    group.bench_function("encode_8+4_1400B", |b| b.iter(|| rs.encode(&data)));
+
+    let parity = rs.encode(&data);
+    let mut shards: Vec<Option<Vec<u8>>> = data
+        .iter()
+        .chain(parity.iter())
+        .cloned()
+        .map(Some)
+        .collect();
+    shards[0] = None;
+    shards[3] = None;
+    shards[5] = None;
+    group.bench_function("reconstruct_3_erasures", |b| {
+        b.iter(|| rs.reconstruct(&shards).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_wka_delivery(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut server = LkhServer::new(4, 0);
+    let joins: Vec<(MemberId, Key)> = (0..1024)
+        .map(|i| (MemberId(i), Key::generate(&mut rng)))
+        .collect();
+    server.apply_batch(&joins, &[], &mut rng);
+    let leavers: Vec<MemberId> = (0..16).map(|i| MemberId(i * 60)).collect();
+    let out = server.apply_batch(&[], &leavers, &mut rng);
+    let present: Vec<MemberId> = (0..1024)
+        .map(MemberId)
+        .filter(|m| !leavers.contains(m))
+        .collect();
+    let interest = interest_map(&out.message, |n| server.members_under(n));
+    let pop = Population::homogeneous(&present, 0.05);
+
+    c.bench_function("wka_bkr_delivery_n1024_l16_p5", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = StdRng::seed_from_u64(seed);
+            wka_bkr::deliver(&out.message, &interest, &pop, &WkaBkrConfig::default(), &mut rng)
+        })
+    });
+
+    c.bench_function("interest_map_n1024", |b| {
+        b.iter(|| interest_map(&out.message, |n| server.members_under(n)))
+    });
+}
+
+criterion_group!(benches, bench_reed_solomon, bench_wka_delivery);
+criterion_main!(benches);

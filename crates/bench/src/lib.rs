@@ -1,0 +1,117 @@
+//! Shared harness utilities for the figure-regeneration benches.
+//!
+//! Every table and figure of the paper's evaluation has a
+//! `harness = false` bench target in `benches/` that recomputes its
+//! series from the models (and, where applicable, the executable
+//! system), prints it in the same shape the paper reports, writes a
+//! CSV under `target/figures/`, and asserts the headline claims.
+//! Run them all with `cargo bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Prints a fixed-width table with a title and rule lines.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>width$}", width = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    println!("{}", "-".repeat(header_line.join("  ").len()));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Writes a CSV with the same data under `target/figures/<name>.csv`
+/// and returns the path.
+///
+/// # Panics
+///
+/// Panics on I/O errors (bench targets want loud failures).
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/figures");
+    fs::create_dir_all(&dir).expect("create figures dir");
+    let path = dir.join(format!("{name}.csv"));
+    let mut file = fs::File::create(&path).expect("create csv");
+    writeln!(file, "{}", headers.join(",")).expect("write csv header");
+    for row in rows {
+        writeln!(file, "{}", row.join(",")).expect("write csv row");
+    }
+    println!("[csv] {}", path.display());
+    path
+}
+
+/// Asserts a reproduced headline number against the paper's value,
+/// with an explicit band, and reports the comparison.
+pub fn check_claim(label: &str, measured: f64, paper: f64, tolerance: f64) {
+    let status = if (measured - paper).abs() <= tolerance {
+        "OK"
+    } else {
+        "MISMATCH"
+    };
+    println!(
+        "[claim {status}] {label}: reproduced {measured:.3} vs paper {paper:.3} (±{tolerance:.3})"
+    );
+    assert!(
+        (measured - paper).abs() <= tolerance,
+        "{label}: reproduced {measured:.3} vs paper {paper:.3} exceeds ±{tolerance:.3}"
+    );
+}
+
+/// Formats a float with the given precision (convenience for rows).
+pub fn fmt(value: f64, precision: usize) -> String {
+    format!("{value:.precision$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_precision() {
+        assert_eq!(fmt(1.23456, 2), "1.23");
+        assert_eq!(fmt(10.0, 0), "10");
+    }
+
+    #[test]
+    fn check_claim_accepts_within_band() {
+        check_claim("test", 0.25, 0.26, 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn check_claim_rejects_outside_band() {
+        check_claim("test", 0.10, 0.30, 0.05);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let path = write_csv(
+            "unit_test_csv",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        let text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(text, "a,b\n1,2\n");
+    }
+}

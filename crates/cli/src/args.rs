@@ -1,0 +1,156 @@
+//! A small `--key value` argument parser (no external dependencies).
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Parsed command line: a subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Args {
+    /// First positional argument.
+    pub command: Option<String>,
+    options: BTreeMap<String, String>,
+}
+
+/// Argument-parsing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// A `--flag` appeared without a value.
+    MissingValue(String),
+    /// A value could not be parsed as the expected type.
+    BadValue {
+        /// The flag name.
+        flag: String,
+        /// The offending value.
+        value: String,
+    },
+    /// An unexpected positional argument.
+    UnexpectedPositional(String),
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::MissingValue(flag) => write!(f, "missing value for --{flag}"),
+            ArgsError::BadValue { flag, value } => {
+                write!(f, "invalid value {value:?} for --{flag}")
+            }
+            ArgsError::UnexpectedPositional(arg) => {
+                write!(f, "unexpected argument {arg:?}")
+            }
+        }
+    }
+}
+
+impl Error for ArgsError {}
+
+impl Args {
+    /// Parses `args` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError`] on a flag without a value or a stray
+    /// positional after the subcommand.
+    pub fn parse<I, S>(args: I) -> Result<Self, ArgsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = Args::default();
+        let mut iter = args.into_iter().map(Into::into).peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(flag) = arg.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgsError::MissingValue(flag.to_string()))?;
+                out.options.insert(flag.to_string(), value);
+            } else if out.command.is_none() {
+                out.command = Some(arg);
+            } else {
+                return Err(ArgsError::UnexpectedPositional(arg));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Raw string option.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.options.get(flag).map(String::as_str)
+    }
+
+    /// String option with a default.
+    pub fn get_or(&self, flag: &str, default: &str) -> String {
+        self.get(flag).unwrap_or(default).to_string()
+    }
+
+    /// Typed option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::BadValue`] if present but unparseable.
+    pub fn get_parsed_or<T: std::str::FromStr>(
+        &self,
+        flag: &str,
+        default: T,
+    ) -> Result<T, ArgsError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| ArgsError::BadValue {
+                flag: flag.to_string(),
+                value: raw.to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_and_flags() {
+        let args = Args::parse(["simulate", "--n", "4096", "--scheme", "tt"]).unwrap();
+        assert_eq!(args.command.as_deref(), Some("simulate"));
+        assert_eq!(args.get("n"), Some("4096"));
+        assert_eq!(args.get_or("scheme", "one"), "tt");
+        assert_eq!(args.get_or("missing", "dflt"), "dflt");
+    }
+
+    #[test]
+    fn typed_defaults() {
+        let args = Args::parse(["model", "--alpha", "0.9"]).unwrap();
+        assert_eq!(args.get_parsed_or("alpha", 0.8f64).unwrap(), 0.9);
+        assert_eq!(args.get_parsed_or("k", 10u32).unwrap(), 10);
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        assert_eq!(
+            Args::parse(["x", "--n"]).unwrap_err(),
+            ArgsError::MissingValue("n".into())
+        );
+    }
+
+    #[test]
+    fn bad_value_rejected() {
+        let args = Args::parse(["x", "--n", "lots"]).unwrap();
+        assert!(matches!(
+            args.get_parsed_or("n", 1u64),
+            Err(ArgsError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn stray_positional_rejected() {
+        assert!(matches!(
+            Args::parse(["a", "b"]),
+            Err(ArgsError::UnexpectedPositional(_))
+        ));
+    }
+
+    #[test]
+    fn empty_is_ok() {
+        let args = Args::parse(Vec::<String>::new()).unwrap();
+        assert!(args.command.is_none());
+    }
+}

@@ -1,0 +1,248 @@
+//! `rekey` — command-line driver for the group key management library.
+//!
+//! ```text
+//! rekey model     [--n 65536] [--d 4] [--k 10] [--alpha 0.8] [--tp 60]
+//!                 [--ms 180] [--ml 10800]
+//!     Evaluate the §3.3.1 analytic model: per-interval cost of the
+//!     one-keytree / TT / QT / PT schemes.
+//!
+//! rekey simulate  [--scheme one|tt|qt|pt|forest] [--n 2048] [--k 10]
+//!                 [--alpha 0.8] [--intervals 40] [--warmup 15]
+//!                 [--seed 42] [--verify true]
+//!     Run the executable key server over a synthetic two-class
+//!     workload and report measured bandwidth.
+//!
+//! rekey recommend [--n 65536] [--d 4] [--tp 60] [--ms 180]
+//!                 [--ml 10800] [--alpha 0.8] [--max-k 20]
+//!     Apply the §3.4 scheme-selection rule to a duration mixture.
+//!
+//! rekey transport [--n 1024] [--l 16] [--alpha 0.2] [--ph 0.2]
+//!                 [--pl 0.02] [--protocol wka|fec|multisend] [--seed 1]
+//!     Deliver one real rekey message over simulated loss and report
+//!     the bandwidth and rounds.
+//! ```
+
+mod args;
+
+use args::Args;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rekey_analytic::partition::PartitionParams;
+use rekey_core::adaptive::{recommend, MixtureEstimate};
+use rekey_core::loss_forest::LossForestManager;
+use rekey_core::one_tree::OneTreeManager;
+use rekey_core::partition::{PtManager, QtManager, TtManager};
+use rekey_core::GroupKeyManager;
+use rekey_crypto::Key;
+use rekey_keytree::server::LkhServer;
+use rekey_keytree::MemberId;
+use rekey_sim::driver::{run_scheme, SimConfig};
+use rekey_sim::membership::{MembershipGenerator, MembershipParams};
+use rekey_transport::interest::interest_map;
+use rekey_transport::loss::Population;
+use rekey_transport::{fec, multisend, wka_bkr};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: rekey <model|simulate|recommend|transport> [--flag value ...]
+run `rekey help` or see the crate docs for the full flag list";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("model") => cmd_model(&args),
+        Some("simulate") => cmd_simulate(&args),
+        Some("recommend") => cmd_recommend(&args),
+        Some("transport") => cmd_transport(&args),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn model_params(args: &Args) -> Result<PartitionParams, args::ArgsError> {
+    let defaults = PartitionParams::paper_default();
+    Ok(PartitionParams {
+        group_size: args.get_parsed_or("n", defaults.group_size)?,
+        degree: args.get_parsed_or("d", defaults.degree)?,
+        rekey_period: args.get_parsed_or("tp", defaults.rekey_period)?,
+        k: args.get_parsed_or("k", defaults.k)?,
+        mean_short: args.get_parsed_or("ms", defaults.mean_short)?,
+        mean_long: args.get_parsed_or("ml", defaults.mean_long)?,
+        alpha: args.get_parsed_or("alpha", defaults.alpha)?,
+    })
+}
+
+fn cmd_model(args: &Args) -> CliResult {
+    let p = model_params(args)?;
+    let ss = p.steady_state();
+    let c = p.costs();
+    println!(
+        "steady state: J = {:.1} joins/interval, Ns = {:.0}, Nl = {:.0}, migrations = {:.1}/interval",
+        ss.joins_per_period, ss.n_s, ss.n_l, ss.l_m
+    );
+    println!("per-interval rekey cost (encrypted keys):");
+    for (name, cost) in [
+        ("one-keytree", c.one_keytree),
+        ("tt-scheme", c.tt),
+        ("qt-scheme", c.qt),
+        ("pt-scheme", c.pt),
+    ] {
+        println!(
+            "  {name:<12} {cost:>10.0}   ({:+.1}% vs one-keytree)",
+            100.0 * (cost / c.one_keytree - 1.0)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> CliResult {
+    let scheme = args.get_or("scheme", "tt");
+    let n: usize = args.get_parsed_or("n", 2048usize)?;
+    let k: u64 = args.get_parsed_or("k", 10u64)?;
+    let alpha: f64 = args.get_parsed_or("alpha", 0.8f64)?;
+    let seed: u64 = args.get_parsed_or("seed", 42u64)?;
+    let verify: bool = args.get_parsed_or("verify", false)?;
+    let config = SimConfig {
+        intervals: args.get_parsed_or("intervals", 40usize)?,
+        warmup: args.get_parsed_or("warmup", 15usize)?,
+        verify_members: verify,
+        oracle_hints: scheme == "pt",
+    };
+
+    let mut manager: Box<dyn GroupKeyManager> = match scheme.as_str() {
+        "one" => Box::new(OneTreeManager::new(4)),
+        "tt" => Box::new(TtManager::new(4, k)),
+        "qt" => Box::new(QtManager::new(4, k)),
+        "pt" => Box::new(PtManager::new(4)),
+        "forest" => Box::new(LossForestManager::two_trees(4)),
+        other => return Err(format!("unknown scheme {other:?}").into()),
+    };
+
+    let params = MembershipParams {
+        target_size: n,
+        alpha,
+        ..MembershipParams::paper_default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut generator = MembershipGenerator::new(params, &mut rng);
+    let report = run_scheme(manager.as_mut(), &mut generator, &config, &mut rng);
+    println!(
+        "{}: {:.0} keys/interval (std {:.0}, min {:.0}, max {:.0}) over {} intervals; final group size {}",
+        manager.scheme_name(),
+        report.keys_summary.mean,
+        report.keys_summary.stddev,
+        report.keys_summary.min,
+        report.keys_summary.max,
+        report.intervals.len(),
+        report.final_size
+    );
+    if verify {
+        println!("member verification: every present member held the DEK every interval");
+    }
+    Ok(())
+}
+
+fn cmd_recommend(args: &Args) -> CliResult {
+    let p = model_params(args)?;
+    let max_k: u32 = args.get_parsed_or("max-k", 20u32)?;
+    let estimate = MixtureEstimate {
+        mean_short: p.mean_short,
+        mean_long: p.mean_long,
+        alpha: p.alpha,
+        samples: 0,
+    };
+    let rec = recommend(p.group_size, p.degree, p.rekey_period, Some(estimate), max_k);
+    println!(
+        "recommendation: {:?}\npredicted cost {:.0} keys/interval vs one-keytree {:.0} ({:.1}% saving)",
+        rec.scheme,
+        rec.predicted_cost,
+        rec.one_keytree_cost,
+        100.0 * (1.0 - rec.predicted_cost / rec.one_keytree_cost)
+    );
+    Ok(())
+}
+
+fn cmd_transport(args: &Args) -> CliResult {
+    let n: u64 = args.get_parsed_or("n", 1024u64)?;
+    let l: u64 = args.get_parsed_or("l", 16u64)?;
+    let alpha: f64 = args.get_parsed_or("alpha", 0.2f64)?;
+    let ph: f64 = args.get_parsed_or("ph", 0.2f64)?;
+    let pl: f64 = args.get_parsed_or("pl", 0.02f64)?;
+    let seed: u64 = args.get_parsed_or("seed", 1u64)?;
+    let protocol = args.get_or("protocol", "wka");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut server = LkhServer::new(4, 0);
+    let joins: Vec<(MemberId, Key)> = (0..n)
+        .map(|i| (MemberId(i), Key::generate(&mut rng)))
+        .collect();
+    server.apply_batch(&joins, &[], &mut rng);
+    let stride = (n / l.max(1)) | 1;
+    let leavers: Vec<MemberId> = (0..l).map(|i| MemberId(i * stride)).collect();
+    let out = server.apply_batch(&[], &leavers, &mut rng);
+    let present: Vec<MemberId> = (0..n)
+        .map(MemberId)
+        .filter(|m| !leavers.contains(m))
+        .collect();
+    let interest = interest_map(&out.message, |node| server.members_under(node));
+    let pop = Population::two_point(&present, alpha, ph, pl, &mut rng);
+
+    println!(
+        "rekey message: {} encrypted keys ({} bytes) for {} receivers",
+        out.message.encrypted_key_count(),
+        out.message.byte_len(),
+        present.len()
+    );
+    let report = match protocol.as_str() {
+        "wka" => {
+            wka_bkr::deliver(
+                &out.message,
+                &interest,
+                &pop,
+                &wka_bkr::WkaBkrConfig::default(),
+                &mut rng,
+            )
+            .report
+        }
+        "fec" => {
+            fec::deliver(
+                &out.message,
+                &interest,
+                &pop,
+                &fec::FecConfig::default(),
+                &mut rng,
+            )
+            .report
+        }
+        "multisend" => multisend::deliver(
+            &out.message,
+            &interest,
+            &pop,
+            &multisend::MultiSendConfig::default(),
+            &mut rng,
+        ),
+        other => return Err(format!("unknown protocol {other:?}").into()),
+    };
+    println!(
+        "{protocol}: complete={} rounds={} packets={} keys_transmitted={}",
+        report.complete, report.rounds, report.packets, report.keys_transmitted
+    );
+    Ok(())
+}

@@ -1,0 +1,345 @@
+//! Adaptive scheme selection (§3.4).
+//!
+//! "At the beginning of a session, the key server just maintains one
+//! key tree; later, from its collected trace data it can compute the
+//! group statistics such as Ms, Ml, and α. Then using our analytic
+//! model, the key server can choose the best scheme to use. And this
+//! process can be repeated periodically."
+//!
+//! [`TraceCollector`] accumulates observed membership durations,
+//! [`TraceCollector::estimate`] fits the two-class exponential mixture
+//! with a 1-D two-means split on log-durations (exponential-MLE means
+//! per cluster), and [`recommend`] evaluates
+//! [`rekey_analytic::partition`] over a grid of S-periods to pick the
+//! cheapest scheme.
+
+use rekey_analytic::partition::PartitionParams;
+use rekey_keytree::MemberId;
+use std::collections::HashMap;
+
+/// Fitted two-class exponential mixture (the model of §3.3.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixtureEstimate {
+    /// Estimated short-class mean duration `M̂s` (seconds).
+    pub mean_short: f64,
+    /// Estimated long-class mean duration `M̂l` (seconds).
+    pub mean_long: f64,
+    /// Estimated fraction of short-lived joins `α̂`.
+    pub alpha: f64,
+    /// Completed durations the estimate is based on.
+    pub samples: usize,
+}
+
+/// Collects join/leave timestamps and fits the duration mixture.
+#[derive(Debug, Clone, Default)]
+pub struct TraceCollector {
+    active: HashMap<MemberId, f64>,
+    durations: Vec<f64>,
+    capacity: usize,
+}
+
+impl TraceCollector {
+    /// A collector retaining up to `capacity` completed durations
+    /// (older samples are evicted FIFO so the estimate tracks the
+    /// session).
+    pub fn new(capacity: usize) -> Self {
+        TraceCollector {
+            active: HashMap::new(),
+            durations: Vec::new(),
+            capacity: capacity.max(4),
+        }
+    }
+
+    /// Records a join at time `t` (seconds).
+    pub fn record_join(&mut self, member: MemberId, t: f64) {
+        self.active.insert(member, t);
+    }
+
+    /// Records a departure at time `t`; ignored if the join was never
+    /// seen.
+    pub fn record_leave(&mut self, member: MemberId, t: f64) {
+        if let Some(joined) = self.active.remove(&member) {
+            let d = (t - joined).max(1e-6);
+            if self.durations.len() == self.capacity {
+                self.durations.remove(0);
+            }
+            self.durations.push(d);
+        }
+    }
+
+    /// Completed-duration sample count.
+    pub fn sample_count(&self) -> usize {
+        self.durations.len()
+    }
+
+    /// Fits the two-class mixture. Returns `None` with fewer than 8
+    /// samples or when the durations show no bimodality (ratio of
+    /// cluster means below 2), in which case a single class describes
+    /// the group and the one-keytree scheme is appropriate.
+    pub fn estimate(&self) -> Option<MixtureEstimate> {
+        if self.durations.len() < 8 {
+            return None;
+        }
+        let logs: Vec<f64> = self.durations.iter().map(|d| d.ln()).collect();
+        let (min, max) = logs
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+                (lo.min(x), hi.max(x))
+            });
+        if max - min < 1e-9 {
+            return None;
+        }
+        // Two-means in 1-D on log-durations.
+        let mut c0 = min;
+        let mut c1 = max;
+        for _ in 0..32 {
+            let (mut s0, mut n0, mut s1, mut n1) = (0.0, 0usize, 0.0, 0usize);
+            for &x in &logs {
+                if (x - c0).abs() <= (x - c1).abs() {
+                    s0 += x;
+                    n0 += 1;
+                } else {
+                    s1 += x;
+                    n1 += 1;
+                }
+            }
+            if n0 == 0 || n1 == 0 {
+                return None;
+            }
+            let (new0, new1) = (s0 / n0 as f64, s1 / n1 as f64);
+            if (new0 - c0).abs() + (new1 - c1).abs() < 1e-12 {
+                break;
+            }
+            c0 = new0;
+            c1 = new1;
+        }
+        let threshold = (c0 + c1) / 2.0;
+        let (mut short, mut long): (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
+        for (&d, &x) in self.durations.iter().zip(&logs) {
+            if x <= threshold {
+                short.push(d);
+            } else {
+                long.push(d);
+            }
+        }
+        if short.is_empty() || long.is_empty() {
+            return None;
+        }
+        let mean_short = short.iter().sum::<f64>() / short.len() as f64;
+        let mean_long = long.iter().sum::<f64>() / long.len() as f64;
+        if mean_long / mean_short < 2.0 {
+            return None;
+        }
+        Some(MixtureEstimate {
+            mean_short,
+            mean_long,
+            alpha: short.len() as f64 / self.durations.len() as f64,
+            samples: self.durations.len(),
+        })
+    }
+}
+
+/// The scheme a server should run, per the analytic model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchemeChoice {
+    /// Stay with the unoptimized single tree.
+    OneKeytree,
+    /// TT-scheme with the given S-period (in rekey intervals).
+    Tt {
+        /// `K = Ts / Tp`.
+        k: u32,
+    },
+    /// QT-scheme with the given S-period (in rekey intervals).
+    Qt {
+        /// `K = Ts / Tp`.
+        k: u32,
+    },
+}
+
+/// A recommendation with its predicted per-interval cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recommendation {
+    /// The chosen scheme.
+    pub scheme: SchemeChoice,
+    /// Predicted encrypted keys per rekey interval.
+    pub predicted_cost: f64,
+    /// Predicted cost of staying with one keytree.
+    pub one_keytree_cost: f64,
+}
+
+/// Evaluates the §3.3.1 model over `k = 1..=max_k` for both
+/// constructions and picks the cheapest scheme (falling back to the
+/// one-keytree scheme when partitioning does not pay off, or when no
+/// mixture estimate is available).
+pub fn recommend(
+    group_size: u64,
+    degree: u32,
+    rekey_period: f64,
+    estimate: Option<MixtureEstimate>,
+    max_k: u32,
+) -> Recommendation {
+    let base = PartitionParams {
+        group_size,
+        degree,
+        rekey_period,
+        k: 0,
+        mean_short: 1.0,
+        mean_long: 1.0,
+        alpha: 0.0,
+    };
+    let Some(est) = estimate else {
+        // No estimate: stay with one tree. Use a degenerate mixture to
+        // compute the baseline cost.
+        let p = PartitionParams {
+            mean_short: rekey_period * 10.0,
+            mean_long: rekey_period * 10.0,
+            alpha: 0.0,
+            ..base
+        };
+        let cost = p.cost_one_keytree();
+        return Recommendation {
+            scheme: SchemeChoice::OneKeytree,
+            predicted_cost: cost,
+            one_keytree_cost: cost,
+        };
+    };
+
+    let with_k = |k: u32| PartitionParams {
+        k,
+        mean_short: est.mean_short,
+        mean_long: est.mean_long,
+        alpha: est.alpha,
+        ..base
+    };
+    let one_cost = with_k(0).cost_one_keytree();
+    let mut best = Recommendation {
+        scheme: SchemeChoice::OneKeytree,
+        predicted_cost: one_cost,
+        one_keytree_cost: one_cost,
+    };
+    for k in 1..=max_k {
+        let p = with_k(k);
+        let tt = p.cost_tt();
+        if tt < best.predicted_cost {
+            best.scheme = SchemeChoice::Tt { k };
+            best.predicted_cost = tt;
+        }
+        let qt = p.cost_qt();
+        if qt < best.predicted_cost {
+            best.scheme = SchemeChoice::Qt { k };
+            best.predicted_cost = qt;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn exponential(rng: &mut StdRng, mean: f64) -> f64 {
+        -mean * (1.0 - rng.gen::<f64>()).ln()
+    }
+
+    fn collect_mixture(alpha: f64, ms: f64, ml: f64, n: usize, seed: u64) -> TraceCollector {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tc = TraceCollector::new(n);
+        for i in 0..n as u64 {
+            let mean = if rng.gen::<f64>() < alpha { ms } else { ml };
+            let d = exponential(&mut rng, mean);
+            tc.record_join(MemberId(i), 0.0);
+            tc.record_leave(MemberId(i), d);
+        }
+        tc
+    }
+
+    #[test]
+    fn estimates_recover_mixture() {
+        let tc = collect_mixture(0.8, 180.0, 10_800.0, 4000, 1);
+        let est = tc.estimate().expect("estimate available");
+        assert!(
+            (est.alpha - 0.8).abs() < 0.1,
+            "alpha estimate {} off",
+            est.alpha
+        );
+        assert!(
+            est.mean_short < 600.0,
+            "short mean {} too large",
+            est.mean_short
+        );
+        assert!(
+            est.mean_long > 4000.0,
+            "long mean {} too small",
+            est.mean_long
+        );
+    }
+
+    #[test]
+    fn homogeneous_group_yields_no_mixture() {
+        let tc = collect_mixture(0.0, 180.0, 10_800.0, 1000, 2);
+        // All durations from one exponential: cluster means stay
+        // within a factor ~2 or a cluster degenerates.
+        // (Exponential spread can occasionally split; accept either
+        //  None or a weak mixture close to one class.)
+        if let Some(est) = tc.estimate() {
+            assert!(
+                est.alpha < 0.95,
+                "degenerate split claimed alpha {}",
+                est.alpha
+            );
+        }
+    }
+
+    #[test]
+    fn too_few_samples_yields_none() {
+        let tc = collect_mixture(0.8, 180.0, 10_800.0, 5, 3);
+        assert!(tc.estimate().is_none());
+    }
+
+    #[test]
+    fn recommends_partitioning_for_dynamic_groups() {
+        let est = MixtureEstimate {
+            mean_short: 180.0,
+            mean_long: 10_800.0,
+            alpha: 0.8,
+            samples: 1000,
+        };
+        let rec = recommend(65536, 4, 60.0, Some(est), 20);
+        assert!(matches!(
+            rec.scheme,
+            SchemeChoice::Tt { .. } | SchemeChoice::Qt { .. }
+        ));
+        assert!(rec.predicted_cost < rec.one_keytree_cost * 0.85);
+    }
+
+    #[test]
+    fn recommends_one_tree_for_stable_groups() {
+        let est = MixtureEstimate {
+            mean_short: 180.0,
+            mean_long: 10_800.0,
+            alpha: 0.1,
+            samples: 1000,
+        };
+        let rec = recommend(65536, 4, 60.0, Some(est), 20);
+        assert_eq!(rec.scheme, SchemeChoice::OneKeytree);
+    }
+
+    #[test]
+    fn no_estimate_keeps_one_tree() {
+        let rec = recommend(1024, 4, 60.0, None, 20);
+        assert_eq!(rec.scheme, SchemeChoice::OneKeytree);
+        assert_eq!(rec.predicted_cost, rec.one_keytree_cost);
+    }
+
+    #[test]
+    fn collector_evicts_old_samples() {
+        let mut tc = TraceCollector::new(8);
+        for i in 0..20u64 {
+            tc.record_join(MemberId(i), 0.0);
+            tc.record_leave(MemberId(i), 1.0 + i as f64);
+        }
+        assert_eq!(tc.sample_count(), 8);
+    }
+}

@@ -1,0 +1,67 @@
+//! Group data-encryption key (DEK) state shared by the managers.
+//!
+//! Multi-tree managers keep the DEK *above* their partition/forest
+//! roots: every interval the DEK is refreshed and wrapped once under
+//! each occupied subtree root (plus, for queue partitions, once per
+//! queued member).
+
+use rand::RngCore;
+use rekey_crypto::{keywrap, Key};
+use rekey_keytree::message::RekeyEntry;
+use rekey_keytree::{MemberId, NodeId};
+
+/// The DEK node id, its current key, and version.
+#[derive(Debug, Clone)]
+pub(crate) struct DekState {
+    pub node: NodeId,
+    pub key: Key,
+    pub version: u64,
+}
+
+impl DekState {
+    /// Creates the DEK in `namespace` with a placeholder key (replaced
+    /// on the first interval).
+    pub fn new(namespace: u32) -> Self {
+        DekState {
+            node: NodeId::from_parts(namespace, 0),
+            key: Key::from_bytes([0; 32]),
+            version: 0,
+        }
+    }
+
+    /// Installs a fresh DEK, returning the previous key and version
+    /// (for join-only intervals that re-wrap under the old DEK).
+    pub fn refresh(&mut self, mut rng: &mut dyn RngCore) -> (Key, u64) {
+        let old = (self.key.clone(), self.version);
+        self.key = Key::generate(&mut rng);
+        self.version += 1;
+        old
+    }
+
+    /// Entry wrapping the current DEK under an arbitrary key.
+    /// `recipient` is set for entries addressed to one member's
+    /// individual key.
+    #[allow(clippy::too_many_arguments)]
+    pub fn wrap_under(
+        &self,
+        under: NodeId,
+        under_version: u64,
+        under_key: &Key,
+        under_is_leaf: bool,
+        recipient: Option<MemberId>,
+        audience: u32,
+        mut rng: &mut dyn RngCore,
+    ) -> RekeyEntry {
+        RekeyEntry {
+            target: self.node,
+            target_version: self.version,
+            under,
+            under_version,
+            under_is_leaf,
+            recipient,
+            audience,
+            target_depth: 0,
+            wrapped: keywrap::wrap(under_key, &self.key, &mut rng),
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! The unoptimized baseline: one balanced key tree whose root is the
+//! group DEK (\[WGL98, WHA98\] with periodic batching).
+
+use crate::{GroupKeyManager, IntervalOutcome, IntervalStats, Join};
+use rand::RngCore;
+use rekey_crypto::Key;
+use rekey_keytree::server::LkhServer;
+use rekey_keytree::{KeyTreeError, MemberId, NodeId};
+
+/// A single balanced LKH tree; the DEK is the tree root.
+#[derive(Debug, Clone)]
+pub struct OneTreeManager {
+    server: LkhServer,
+}
+
+impl OneTreeManager {
+    /// Creates the manager with the given key-tree degree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree < 2`.
+    pub fn new(degree: usize) -> Self {
+        OneTreeManager {
+            server: LkhServer::new(degree, 0),
+        }
+    }
+
+    /// Read access to the underlying server (for diagnostics/tests).
+    pub fn server(&self) -> &LkhServer {
+        &self.server
+    }
+}
+
+impl GroupKeyManager for OneTreeManager {
+    fn process_interval(
+        &mut self,
+        joins: &[Join],
+        leaves: &[MemberId],
+        mut rng: &mut dyn RngCore,
+    ) -> Result<IntervalOutcome, KeyTreeError> {
+        let join_pairs: Vec<(MemberId, Key)> = joins
+            .iter()
+            .map(|j| (j.member, j.individual_key.clone()))
+            .collect();
+        let outcome = self.server.try_apply_batch(&join_pairs, leaves, &mut rng)?;
+        Ok(IntervalOutcome {
+            stats: IntervalStats {
+                joins: joins.len(),
+                leaves: leaves.len(),
+                migrations: 0,
+                encrypted_keys: outcome.message.encrypted_key_count(),
+            },
+            message: outcome.message,
+        })
+    }
+
+    fn dek_node(&self) -> NodeId {
+        self.server.root_node()
+    }
+
+    fn dek(&self) -> &Key {
+        self.server.root_key()
+    }
+
+    fn member_count(&self) -> usize {
+        self.server.member_count()
+    }
+
+    fn contains(&self, member: MemberId) -> bool {
+        self.server.contains(member)
+    }
+
+    fn members_under(&self, node: NodeId) -> Vec<MemberId> {
+        self.server.members_under(node)
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "one-keytree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rekey_keytree::member::GroupMember;
+
+    #[test]
+    fn baseline_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mgr = OneTreeManager::new(4);
+        let ik = Key::generate(&mut rng);
+        let joins = vec![Join::new(MemberId(0), ik.clone())];
+        let out = mgr.process_interval(&joins, &[], &mut rng).unwrap();
+        let mut m = GroupMember::new(MemberId(0), ik);
+        m.process(&out.message).unwrap();
+        assert_eq!(m.key_for(mgr.dek_node()), Some(mgr.dek()));
+        assert_eq!(mgr.member_count(), 1);
+        assert_eq!(mgr.scheme_name(), "one-keytree");
+    }
+
+    #[test]
+    fn stats_reflect_batch() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mgr = OneTreeManager::new(4);
+        let joins: Vec<Join> = (0..10)
+            .map(|i| Join::new(MemberId(i), Key::generate(&mut rng)))
+            .collect();
+        mgr.process_interval(&joins, &[], &mut rng).unwrap();
+        let out = mgr
+            .process_interval(&[], &[MemberId(0), MemberId(5)], &mut rng)
+            .unwrap();
+        assert_eq!(out.stats.leaves, 2);
+        assert_eq!(out.stats.encrypted_keys, out.message.encrypted_key_count());
+        assert!(out.stats.encrypted_keys > 0);
+    }
+}

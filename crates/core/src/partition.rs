@@ -1,0 +1,706 @@
+//! The two-partition key tree algorithm (§3).
+//!
+//! New members enter the S-partition; members that survive the
+//! S-period of `K` rekey intervals migrate to the L-partition. A
+//! departure of a short-lived member then only perturbs the small
+//! S-partition: L-partition members need nothing but the refreshed
+//! group DEK (one key, wrapped under the L-partition root).
+//!
+//! Three constructions, as in the paper:
+//!
+//! - [`TtManager`] — balanced tree for both partitions: best when the
+//!   S-partition is large,
+//! - [`QtManager`] — linear queue for the S-partition: joins cost one
+//!   key, departures cost one encryption per queued member; best when
+//!   the S-partition is small,
+//! - [`PtManager`] — oracle placement by expected duration class
+//!   (\[SMS00\]-style a-priori knowledge); the upper bound on what
+//!   partitioning can achieve since no migrations are ever needed.
+
+use crate::dek::DekState;
+use crate::{DurationClass, GroupKeyManager, IntervalOutcome, IntervalStats, Join};
+use rand::RngCore;
+use rekey_crypto::Key;
+use rekey_keytree::message::RekeyMessage;
+use rekey_keytree::queue::KeyQueue;
+use rekey_keytree::server::LkhServer;
+use rekey_keytree::{KeyTreeError, MemberId, NodeId};
+use std::collections::BTreeMap;
+
+const NS_DEK: u32 = 1;
+const NS_S: u32 = 2;
+const NS_L: u32 = 3;
+
+/// Splits the departures of an interval into those currently in the
+/// S-structure and those in the L-tree.
+fn split_leaves(
+    leaves: &[MemberId],
+    in_s: impl Fn(MemberId) -> bool,
+    l: &LkhServer,
+) -> Result<(Vec<MemberId>, Vec<MemberId>), KeyTreeError> {
+    let mut s_leaves = Vec::new();
+    let mut l_leaves = Vec::new();
+    for &m in leaves {
+        if in_s(m) {
+            s_leaves.push(m);
+        } else if l.contains(m) {
+            l_leaves.push(m);
+        } else {
+            return Err(KeyTreeError::UnknownMember(m));
+        }
+    }
+    Ok((s_leaves, l_leaves))
+}
+
+// ---------------------------------------------------------------------
+// TT-scheme
+// ---------------------------------------------------------------------
+
+/// Two balanced key trees: an S-tree for recent joiners and an L-tree
+/// for members that survived the S-period.
+#[derive(Debug, Clone)]
+pub struct TtManager {
+    dek: DekState,
+    s: LkhServer,
+    l: LkhServer,
+    /// Epoch at which each current S-member joined.
+    s_ages: BTreeMap<MemberId, u64>,
+    /// Registered individual keys of S-members (needed at migration).
+    s_keys: BTreeMap<MemberId, Key>,
+    k: u64,
+    epoch: u64,
+}
+
+impl TtManager {
+    /// Creates a TT-scheme manager with tree degree `degree` and
+    /// S-period `k` rekey intervals (`K = Ts/Tp`).
+    pub fn new(degree: usize, k: u64) -> Self {
+        TtManager {
+            dek: DekState::new(NS_DEK),
+            s: LkhServer::new(degree, NS_S),
+            l: LkhServer::new(degree, NS_L),
+            s_ages: BTreeMap::new(),
+            s_keys: BTreeMap::new(),
+            k,
+            epoch: 0,
+        }
+    }
+
+    /// Current S-partition population (`Ns`).
+    pub fn s_count(&self) -> usize {
+        self.s.member_count()
+    }
+
+    /// Current L-partition population (`Nl`).
+    pub fn l_count(&self) -> usize {
+        self.l.member_count()
+    }
+}
+
+impl GroupKeyManager for TtManager {
+    fn process_interval(
+        &mut self,
+        joins: &[Join],
+        leaves: &[MemberId],
+        mut rng: &mut dyn RngCore,
+    ) -> Result<IntervalOutcome, KeyTreeError> {
+        self.epoch += 1;
+        let (s_leaves, l_leaves) = split_leaves(leaves, |m| self.s.contains(m), &self.l)?;
+        for m in &s_leaves {
+            self.s_ages.remove(m);
+            self.s_keys.remove(m);
+        }
+
+        // Members whose S-period elapsed migrate in this interval's
+        // batch (before this interval's joins are added).
+        let deadline = self.epoch.saturating_sub(self.k);
+        let migrating: Vec<MemberId> = self
+            .s_ages
+            .iter()
+            .filter(|&(_, &joined)| joined <= deadline)
+            .map(|(&m, _)| m)
+            .collect();
+        let mut l_joins: Vec<(MemberId, Key)> = Vec::with_capacity(migrating.len());
+        for m in &migrating {
+            self.s_ages.remove(m);
+            let ik = self.s_keys.remove(m).expect("S-member has a key");
+            l_joins.push((*m, ik));
+        }
+
+        // S-batch: joins in, departures + migrations out.
+        let s_joins: Vec<(MemberId, Key)> = joins
+            .iter()
+            .map(|j| (j.member, j.individual_key.clone()))
+            .collect();
+        let mut s_removals = s_leaves.clone();
+        s_removals.extend(&migrating);
+        let s_out = self.s.try_apply_batch(&s_joins, &s_removals, &mut rng)?;
+        let l_out = self.l.try_apply_batch(&l_joins, &l_leaves, &mut rng)?;
+
+        for j in joins {
+            self.s_ages.insert(j.member, self.epoch);
+            self.s_keys.insert(j.member, j.individual_key.clone());
+        }
+
+        // Refresh and distribute the DEK under each occupied root.
+        self.dek.refresh(rng);
+        let mut message = RekeyMessage::new(self.epoch);
+        message.merge(s_out.message);
+        message.merge(l_out.message);
+        for server in [&self.s, &self.l] {
+            if server.member_count() > 0 {
+                message.entries.push(self.dek.wrap_under(
+                    server.root_node(),
+                    server.root_version(),
+                    server.root_key(),
+                    false,
+                    None,
+                    server.member_count() as u32,
+                    rng,
+                ));
+            }
+        }
+
+        Ok(IntervalOutcome {
+            stats: IntervalStats {
+                joins: joins.len(),
+                leaves: leaves.len(),
+                migrations: migrating.len(),
+                encrypted_keys: message.encrypted_key_count(),
+            },
+            message,
+        })
+    }
+
+    fn dek_node(&self) -> NodeId {
+        self.dek.node
+    }
+
+    fn dek(&self) -> &Key {
+        &self.dek.key
+    }
+
+    fn member_count(&self) -> usize {
+        self.s.member_count() + self.l.member_count()
+    }
+
+    fn contains(&self, member: MemberId) -> bool {
+        self.s.contains(member) || self.l.contains(member)
+    }
+
+    fn members_under(&self, node: NodeId) -> Vec<MemberId> {
+        match node.namespace() {
+            NS_DEK => {
+                let mut all = self.s.members_under(self.s.root_node());
+                all.extend(self.l.members_under(self.l.root_node()));
+                all
+            }
+            NS_S => self.s.members_under(node),
+            NS_L => self.l.members_under(node),
+            _ => Vec::new(),
+        }
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "tt-scheme"
+    }
+}
+
+// ---------------------------------------------------------------------
+// QT-scheme
+// ---------------------------------------------------------------------
+
+/// A linear queue for the S-partition and a balanced tree for the
+/// L-partition.
+#[derive(Debug, Clone)]
+pub struct QtManager {
+    dek: DekState,
+    queue: KeyQueue,
+    l: LkhServer,
+    k: u64,
+    epoch: u64,
+}
+
+impl QtManager {
+    /// Creates a QT-scheme manager with L-tree degree `degree` and
+    /// S-period `k` rekey intervals.
+    pub fn new(degree: usize, k: u64) -> Self {
+        QtManager {
+            dek: DekState::new(NS_DEK),
+            queue: KeyQueue::new(NS_S),
+            l: LkhServer::new(degree, NS_L),
+            k,
+            epoch: 0,
+        }
+    }
+
+    /// Current S-partition population (`Ns`).
+    pub fn s_count(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Current L-partition population (`Nl`).
+    pub fn l_count(&self) -> usize {
+        self.l.member_count()
+    }
+}
+
+impl GroupKeyManager for QtManager {
+    fn process_interval(
+        &mut self,
+        joins: &[Join],
+        leaves: &[MemberId],
+        mut rng: &mut dyn RngCore,
+    ) -> Result<IntervalOutcome, KeyTreeError> {
+        self.epoch += 1;
+        let (s_leaves, l_leaves) =
+            split_leaves(leaves, |m| self.queue.contains(m), &self.l)?;
+        for m in &s_leaves {
+            self.queue.remove(*m)?;
+        }
+
+        let deadline = self.epoch.saturating_sub(self.k);
+        let migrating = self.queue.pop_older_than(deadline);
+        let l_joins: Vec<(MemberId, Key)> = migrating
+            .iter()
+            .map(|slot| (slot.member, slot.individual_key.clone()))
+            .collect();
+        let l_out = self.l.try_apply_batch(&l_joins, &l_leaves, &mut rng)?;
+
+        for j in joins {
+            self.queue
+                .push(j.member, j.individual_key.clone(), self.epoch)?;
+        }
+
+        let (old_dek, old_version) = self.dek.refresh(rng);
+        let mut message = RekeyMessage::new(self.epoch);
+        message.merge(l_out.message);
+
+        let no_departures = s_leaves.is_empty() && l_leaves.is_empty();
+        if no_departures && self.epoch > 1 {
+            // Join phase (§3.2 phase 1): the new DEK rides under the
+            // previous DEK for everyone already present, plus one
+            // individual delivery per new joiner.
+            message.entries.push(self.dek.wrap_under(
+                self.dek.node,
+                old_version,
+                &old_dek,
+                false,
+                None,
+                (self.member_count() - joins.len()) as u32,
+                rng,
+            ));
+            for j in joins {
+                let slot = self.queue.slot(j.member).expect("just queued");
+                message.entries.push(self.dek.wrap_under(
+                    slot.node,
+                    0,
+                    &slot.individual_key,
+                    true,
+                    Some(j.member),
+                    1,
+                    rng,
+                ));
+            }
+        } else {
+            // Departure phase (§3.2 phase 2): the queue has no shared
+            // keys, so the DEK is wrapped once per queued member
+            // (Neq = Ns) plus once under the L-root.
+            if self.l.member_count() > 0 {
+                message.entries.push(self.dek.wrap_under(
+                    self.l.root_node(),
+                    self.l.root_version(),
+                    self.l.root_key(),
+                    false,
+                    None,
+                    self.l.member_count() as u32,
+                    rng,
+                ));
+            }
+            let slots: Vec<(MemberId, NodeId, Key)> = self
+                .queue
+                .iter()
+                .map(|s| (s.member, s.node, s.individual_key.clone()))
+                .collect();
+            for (member, node, ik) in slots {
+                message
+                    .entries
+                    .push(self.dek.wrap_under(node, 0, &ik, true, Some(member), 1, rng));
+            }
+        }
+
+        Ok(IntervalOutcome {
+            stats: IntervalStats {
+                joins: joins.len(),
+                leaves: leaves.len(),
+                migrations: migrating.len(),
+                encrypted_keys: message.encrypted_key_count(),
+            },
+            message,
+        })
+    }
+
+    fn dek_node(&self) -> NodeId {
+        self.dek.node
+    }
+
+    fn dek(&self) -> &Key {
+        &self.dek.key
+    }
+
+    fn member_count(&self) -> usize {
+        self.queue.len() + self.l.member_count()
+    }
+
+    fn contains(&self, member: MemberId) -> bool {
+        self.queue.contains(member) || self.l.contains(member)
+    }
+
+    fn members_under(&self, node: NodeId) -> Vec<MemberId> {
+        match node.namespace() {
+            NS_DEK => {
+                let mut all = self.queue.members();
+                all.extend(self.l.members_under(self.l.root_node()));
+                all
+            }
+            NS_S => self
+                .queue
+                .iter()
+                .find(|s| s.node == node)
+                .map(|s| vec![s.member])
+                .unwrap_or_default(),
+            NS_L => self.l.members_under(node),
+            _ => Vec::new(),
+        }
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "qt-scheme"
+    }
+}
+
+// ---------------------------------------------------------------------
+// PT-scheme
+// ---------------------------------------------------------------------
+
+/// Oracle placement: members are placed directly into the partition of
+/// their (known) duration class, so no migrations ever happen. The
+/// upper bound of the two-partition idea.
+#[derive(Debug, Clone)]
+pub struct PtManager {
+    dek: DekState,
+    s: LkhServer,
+    l: LkhServer,
+}
+
+impl PtManager {
+    /// Creates a PT-scheme manager with tree degree `degree`.
+    pub fn new(degree: usize) -> Self {
+        PtManager {
+            dek: DekState::new(NS_DEK),
+            s: LkhServer::new(degree, NS_S),
+            l: LkhServer::new(degree, NS_L),
+        }
+    }
+
+    /// Current short-class population.
+    pub fn s_count(&self) -> usize {
+        self.s.member_count()
+    }
+
+    /// Current long-class population.
+    pub fn l_count(&self) -> usize {
+        self.l.member_count()
+    }
+}
+
+impl GroupKeyManager for PtManager {
+    fn process_interval(
+        &mut self,
+        joins: &[Join],
+        leaves: &[MemberId],
+        mut rng: &mut dyn RngCore,
+    ) -> Result<IntervalOutcome, KeyTreeError> {
+        let (s_leaves, l_leaves) = split_leaves(leaves, |m| self.s.contains(m), &self.l)?;
+        let mut s_joins = Vec::new();
+        let mut l_joins = Vec::new();
+        for j in joins {
+            match j.hint.expected_class {
+                Some(DurationClass::Short) => s_joins.push((j.member, j.individual_key.clone())),
+                // Unknown members default to the long partition, the
+                // safe choice for stable groups.
+                Some(DurationClass::Long) | None => {
+                    l_joins.push((j.member, j.individual_key.clone()))
+                }
+            }
+        }
+        let s_out = self.s.try_apply_batch(&s_joins, &s_leaves, &mut rng)?;
+        let l_out = self.l.try_apply_batch(&l_joins, &l_leaves, &mut rng)?;
+
+        self.dek.refresh(rng);
+        let mut message = RekeyMessage::new(s_out.message.epoch);
+        message.merge(s_out.message);
+        message.merge(l_out.message);
+        for server in [&self.s, &self.l] {
+            if server.member_count() > 0 {
+                message.entries.push(self.dek.wrap_under(
+                    server.root_node(),
+                    server.root_version(),
+                    server.root_key(),
+                    false,
+                    None,
+                    server.member_count() as u32,
+                    rng,
+                ));
+            }
+        }
+
+        Ok(IntervalOutcome {
+            stats: IntervalStats {
+                joins: joins.len(),
+                leaves: leaves.len(),
+                migrations: 0,
+                encrypted_keys: message.encrypted_key_count(),
+            },
+            message,
+        })
+    }
+
+    fn dek_node(&self) -> NodeId {
+        self.dek.node
+    }
+
+    fn dek(&self) -> &Key {
+        &self.dek.key
+    }
+
+    fn member_count(&self) -> usize {
+        self.s.member_count() + self.l.member_count()
+    }
+
+    fn contains(&self, member: MemberId) -> bool {
+        self.s.contains(member) || self.l.contains(member)
+    }
+
+    fn members_under(&self, node: NodeId) -> Vec<MemberId> {
+        match node.namespace() {
+            NS_DEK => {
+                let mut all = self.s.members_under(self.s.root_node());
+                all.extend(self.l.members_under(self.l.root_node()));
+                all
+            }
+            NS_S => self.s.members_under(node),
+            NS_L => self.l.members_under(node),
+            _ => Vec::new(),
+        }
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "pt-scheme"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rekey_keytree::member::GroupMember;
+
+    struct Fixture {
+        members: BTreeMap<MemberId, GroupMember>,
+        next_id: u64,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            Fixture {
+                members: BTreeMap::new(),
+                next_id: 0,
+            }
+        }
+
+        fn joins(&mut self, n: usize, rng: &mut StdRng) -> Vec<Join> {
+            (0..n)
+                .map(|_| {
+                    let id = MemberId(self.next_id);
+                    self.next_id += 1;
+                    let ik = Key::generate(rng);
+                    self.members.insert(id, GroupMember::new(id, ik.clone()));
+                    Join::new(id, ik)
+                })
+                .collect()
+        }
+
+        fn deliver(&mut self, out: &IntervalOutcome) {
+            for m in self.members.values_mut() {
+                let _ = m.process(&out.message);
+            }
+        }
+
+        fn assert_synchronized(&self, mgr: &dyn GroupKeyManager, departed: &[MemberId]) {
+            for (id, m) in &self.members {
+                if departed.contains(id) {
+                    assert_ne!(
+                        m.key_for(mgr.dek_node()),
+                        Some(mgr.dek()),
+                        "departed {id} still holds the DEK"
+                    );
+                } else if mgr.contains(*id) {
+                    assert_eq!(
+                        m.key_for(mgr.dek_node()),
+                        Some(mgr.dek()),
+                        "member {id} lost the DEK"
+                    );
+                }
+            }
+        }
+    }
+
+    fn churn_scenario(mgr: &mut dyn GroupKeyManager, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut fx = Fixture::new();
+        let mut departed: Vec<MemberId> = Vec::new();
+
+        // Interval 1: 20 joins.
+        let joins = fx.joins(20, &mut rng);
+        let out = mgr.process_interval(&joins, &[], &mut rng).unwrap();
+        fx.deliver(&out);
+        fx.assert_synchronized(mgr, &departed);
+
+        // Intervals 2..12: churn with joins and leaves, spanning the
+        // S-period so migrations occur.
+        for round in 0..11u64 {
+            let joins = fx.joins(4, &mut rng);
+            let leave_ids: Vec<MemberId> = fx
+                .members
+                .keys()
+                .filter(|id| mgr.contains(**id) && !departed.contains(id))
+                .take(2 + (round % 2) as usize)
+                .copied()
+                .collect();
+            let out = mgr.process_interval(&joins, &leave_ids, &mut rng).unwrap();
+            departed.extend(&leave_ids);
+            fx.deliver(&out);
+            fx.assert_synchronized(mgr, &departed);
+            assert!(out.stats.encrypted_keys > 0);
+        }
+        assert_eq!(mgr.member_count(), fx.members.len() - departed.len());
+    }
+
+    #[test]
+    fn tt_scheme_end_to_end() {
+        let mut mgr = TtManager::new(3, 3);
+        churn_scenario(&mut mgr, 101);
+        // After 12 intervals with K = 3, survivors of early rounds
+        // must have migrated.
+        assert!(mgr.l_count() > 0, "no members migrated to L");
+    }
+
+    #[test]
+    fn qt_scheme_end_to_end() {
+        let mut mgr = QtManager::new(3, 3);
+        churn_scenario(&mut mgr, 202);
+        assert!(mgr.l_count() > 0, "no members migrated to L");
+    }
+
+    #[test]
+    fn pt_scheme_end_to_end() {
+        let mut mgr = PtManager::new(3);
+        churn_scenario(&mut mgr, 303);
+    }
+
+    #[test]
+    fn pt_routes_by_class_hint() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut mgr = PtManager::new(4);
+        let joins = vec![
+            Join::new(MemberId(1), Key::generate(&mut rng)).with_class(DurationClass::Short),
+            Join::new(MemberId(2), Key::generate(&mut rng)).with_class(DurationClass::Long),
+            Join::new(MemberId(3), Key::generate(&mut rng)),
+        ];
+        mgr.process_interval(&joins, &[], &mut rng).unwrap();
+        assert_eq!(mgr.s_count(), 1);
+        assert_eq!(mgr.l_count(), 2);
+    }
+
+    #[test]
+    fn tt_migration_happens_after_k_intervals() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut mgr = TtManager::new(4, 2);
+        let mut fx = Fixture::new();
+        let joins = fx.joins(5, &mut rng);
+        let out = mgr.process_interval(&joins, &[], &mut rng).unwrap();
+        fx.deliver(&out);
+        assert_eq!(mgr.s_count(), 5);
+        assert_eq!(mgr.l_count(), 0);
+
+        // K = 2: members joined at epoch 1 migrate at epoch 3.
+        let out = mgr.process_interval(&[], &[], &mut rng).unwrap();
+        fx.deliver(&out);
+        assert_eq!(mgr.s_count(), 5, "migrated too early");
+        let out = mgr.process_interval(&[], &[], &mut rng).unwrap();
+        fx.deliver(&out);
+        assert_eq!(mgr.s_count(), 0);
+        assert_eq!(mgr.l_count(), 5);
+        fx.assert_synchronized(&mgr, &[]);
+    }
+
+    #[test]
+    fn qt_departure_costs_queue_size() {
+        let mut rng = StdRng::seed_from_u64(9);
+        // Large K so nobody migrates during the test.
+        let mut mgr = QtManager::new(4, 100);
+        let mut fx = Fixture::new();
+        let joins = fx.joins(10, &mut rng);
+        let out = mgr.process_interval(&joins, &[], &mut rng).unwrap();
+        fx.deliver(&out);
+
+        let victim = MemberId(0);
+        let out = mgr.process_interval(&[], &[victim], &mut rng).unwrap();
+        fx.deliver(&out);
+        // 9 queue members get individual DEK wraps; no L-tree.
+        assert_eq!(out.stats.encrypted_keys, 9);
+        fx.assert_synchronized(&mgr, &[victim]);
+    }
+
+    #[test]
+    fn qt_pure_join_is_cheap() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut mgr = QtManager::new(4, 100);
+        let mut fx = Fixture::new();
+        let joins = fx.joins(10, &mut rng);
+        let out = mgr.process_interval(&joins, &[], &mut rng).unwrap();
+        fx.deliver(&out);
+
+        // One more pure-join interval: 1 DEK-under-old-DEK entry plus
+        // 3 individual entries.
+        let joins = fx.joins(3, &mut rng);
+        let out = mgr.process_interval(&joins, &[], &mut rng).unwrap();
+        fx.deliver(&out);
+        assert_eq!(out.stats.encrypted_keys, 4);
+        fx.assert_synchronized(&mgr, &[]);
+    }
+
+    #[test]
+    fn unknown_leaver_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut mgr = TtManager::new(4, 2);
+        let err = mgr
+            .process_interval(&[], &[MemberId(404)], &mut rng)
+            .unwrap_err();
+        assert_eq!(err, KeyTreeError::UnknownMember(MemberId(404)));
+    }
+
+    #[test]
+    fn members_under_dek_is_whole_group() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut mgr = TtManager::new(4, 1);
+        let mut fx = Fixture::new();
+        let joins = fx.joins(8, &mut rng);
+        mgr.process_interval(&joins, &[], &mut rng).unwrap();
+        mgr.process_interval(&[], &[], &mut rng).unwrap();
+        let all = mgr.members_under(mgr.dek_node());
+        assert_eq!(all.len(), 8);
+    }
+}

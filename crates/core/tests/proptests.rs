@@ -1,0 +1,132 @@
+//! Property-based tests for the group-key managers: liveness and
+//! secrecy hold for every scheme under arbitrary churn scripts and
+//! parameters.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rekey_core::loss_forest::LossForestManager;
+use rekey_core::one_tree::OneTreeManager;
+use rekey_core::partition::{PtManager, QtManager, TtManager};
+use rekey_core::{DurationClass, GroupKeyManager, Join};
+use rekey_crypto::Key;
+use rekey_keytree::member::GroupMember;
+use rekey_keytree::MemberId;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Copy)]
+enum Scheme {
+    One,
+    Tt(u64),
+    Qt(u64),
+    Pt,
+    Forest,
+}
+
+fn scheme_strategy() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::One),
+        (1u64..6).prop_map(Scheme::Tt),
+        (1u64..6).prop_map(Scheme::Qt),
+        Just(Scheme::Pt),
+        Just(Scheme::Forest),
+    ]
+}
+
+fn build(scheme: Scheme, degree: usize) -> Box<dyn GroupKeyManager> {
+    match scheme {
+        Scheme::One => Box::new(OneTreeManager::new(degree)),
+        Scheme::Tt(k) => Box::new(TtManager::new(degree, k)),
+        Scheme::Qt(k) => Box::new(QtManager::new(degree, k)),
+        Scheme::Pt => Box::new(PtManager::new(degree)),
+        Scheme::Forest => Box::new(LossForestManager::two_trees(degree)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Under an arbitrary interval script — per interval up to 4 joins
+    /// and up to 3 leaves — every present member can always produce
+    /// the DEK and no departed member ever can, for every scheme.
+    #[test]
+    fn any_scheme_stays_secret_and_live(
+        scheme in scheme_strategy(),
+        degree in 2usize..5,
+        script in proptest::collection::vec((0usize..5, 0usize..4), 1..14),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mgr = build(scheme, degree);
+        let mut states: BTreeMap<MemberId, GroupMember> = BTreeMap::new();
+        let mut departed: Vec<MemberId> = Vec::new();
+        let mut next_id = 0u64;
+
+        for (joins_n, leaves_n) in script {
+            let joins: Vec<Join> = (0..joins_n)
+                .map(|i| {
+                    let id = MemberId(next_id);
+                    next_id += 1;
+                    let ik = Key::generate(&mut rng);
+                    states.insert(id, GroupMember::new(id, ik.clone()));
+                    let mut j = Join::new(id, ik);
+                    if i % 2 == 0 {
+                        j = j.with_class(DurationClass::Short).with_loss_rate(0.2);
+                    } else {
+                        j = j.with_class(DurationClass::Long).with_loss_rate(0.01);
+                    }
+                    j
+                })
+                .collect();
+            let leaves: Vec<MemberId> = states
+                .keys()
+                .filter(|id| mgr.contains(**id))
+                .take(leaves_n)
+                .copied()
+                .collect();
+            let out = mgr.process_interval(&joins, &leaves, &mut rng).unwrap();
+            departed.extend(&leaves);
+
+            for s in states.values_mut() {
+                let _ = s.process(&out.message);
+            }
+            for (id, s) in &states {
+                if departed.contains(id) {
+                    prop_assert_ne!(
+                        s.key_for(mgr.dek_node()), Some(mgr.dek()),
+                        "departed {} holds DEK under {:?}", id, scheme);
+                } else if mgr.contains(*id) {
+                    prop_assert_eq!(
+                        s.key_for(mgr.dek_node()), Some(mgr.dek()),
+                        "member {} lost DEK under {:?}", id, scheme);
+                }
+            }
+        }
+        prop_assert_eq!(
+            mgr.member_count(),
+            states.len() - departed.len(),
+            "population drift under {:?}", scheme);
+    }
+
+    /// The DEK changes every interval (a recorded DEK never reappears).
+    #[test]
+    fn dek_never_repeats(scheme in scheme_strategy(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mgr = build(scheme, 3);
+        let mut seen: Vec<Key> = Vec::new();
+        let mut next_id = 0u64;
+        for _ in 0..8 {
+            let joins: Vec<Join> = (0..2)
+                .map(|_| {
+                    let id = MemberId(next_id);
+                    next_id += 1;
+                    Join::new(id, Key::generate(&mut rng))
+                })
+                .collect();
+            mgr.process_interval(&joins, &[], &mut rng).unwrap();
+            let dek = mgr.dek().clone();
+            prop_assert!(!seen.contains(&dek), "DEK reused under {:?}", scheme);
+            seen.push(dek);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! HKDF-SHA256 key derivation as specified in RFC 5869.
+//!
+//! Used throughout the workspace to derive independent sub-keys (e.g.
+//! an encryption key and a MAC key for [`crate::keywrap`]) from a
+//! single key-encryption key, and by the OFT scheme to derive node keys
+//! from blinded child keys.
+
+use crate::hmac::{hmac, HmacSha256};
+use crate::sha256::DIGEST_LEN;
+
+/// HKDF-Extract: derives a pseudorandom key from input keying material.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    hmac(salt, ikm)
+}
+
+/// HKDF-Expand: expands `prk` into `out.len()` bytes of output keying
+/// material, bound to `info`.
+///
+/// # Panics
+///
+/// Panics if `out.len() > 255 * 32` (the RFC 5869 limit).
+pub fn expand(prk: &[u8], info: &[u8], out: &mut [u8]) {
+    assert!(
+        out.len() <= 255 * DIGEST_LEN,
+        "HKDF-Expand output too long: {} bytes",
+        out.len()
+    );
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    let mut produced = 0;
+    while produced < out.len() {
+        let mut mac = HmacSha256::new(prk);
+        mac.update(&t);
+        mac.update(info);
+        mac.update(&[counter]);
+        let block = mac.finalize();
+        let take = (out.len() - produced).min(DIGEST_LEN);
+        out[produced..produced + take].copy_from_slice(&block[..take]);
+        produced += take;
+        t = block.to_vec();
+        counter = counter.wrapping_add(1);
+    }
+}
+
+/// Convenience: extract-then-expand in one call.
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], out: &mut [u8]) {
+    let prk = extract(salt, ikm);
+    expand(&prk, info, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0bu8; 22];
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let mut okm = [0u8; 42];
+        expand(&prk, &info, &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn derive_matches_extract_expand() {
+        let mut a = [0u8; 64];
+        let mut b = [0u8; 64];
+        derive(b"salt", b"ikm", b"info", &mut a);
+        let prk = extract(b"salt", b"ikm");
+        expand(&prk, b"info", &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_info_different_output() {
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        derive(b"s", b"k", b"enc", &mut a);
+        derive(b"s", b"k", b"mac", &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn multi_block_expansion_is_prefix_consistent() {
+        let prk = extract(b"s", b"k");
+        let mut long = [0u8; 100];
+        let mut short = [0u8; 32];
+        expand(&prk, b"i", &mut long);
+        expand(&prk, b"i", &mut short);
+        assert_eq!(&long[..32], &short[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "output too long")]
+    fn expand_rejects_oversize() {
+        let mut out = vec![0u8; 255 * 32 + 1];
+        expand(&[0u8; 32], b"", &mut out);
+    }
+}

@@ -1,0 +1,230 @@
+//! Authenticated key wrapping: encrypt one [`Key`] under another.
+//!
+//! This is the operation a key server performs for every entry of a
+//! rekey message: "new key `K_a` encrypted with key `K_b`"
+//! (`{K_a}_{K_b}` in the paper's notation). The construction is
+//! encrypt-then-MAC:
+//!
+//! 1. derive independent sub-keys `kek_enc = KEK.derive("wrap-enc")`
+//!    and `kek_mac = KEK.derive("wrap-mac")`,
+//! 2. encrypt the 32-byte payload key with ChaCha20 under `kek_enc`
+//!    and a fresh random 96-bit nonce,
+//! 3. tag `nonce || ciphertext` with HMAC-SHA256 under `kek_mac`,
+//!    truncated to 128 bits.
+//!
+//! The wire size of one wrapped key is [`WRAPPED_LEN`] = 60 bytes;
+//! the transport crate uses this to convert "number of encrypted keys"
+//! (the paper's cost metric) into bytes.
+
+use crate::chacha20;
+use crate::hmac::HmacSha256;
+use crate::{ct_eq, CryptoError, Key};
+use rand::RngCore;
+
+/// Nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+
+/// Truncated MAC tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Total serialized size of a [`WrappedKey`]: nonce + 32-byte
+/// ciphertext + tag.
+pub const WRAPPED_LEN: usize = NONCE_LEN + 32 + TAG_LEN;
+
+/// A key encrypted under a key-encryption key (KEK).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WrappedKey {
+    nonce: [u8; NONCE_LEN],
+    ciphertext: [u8; 32],
+    tag: [u8; TAG_LEN],
+}
+
+impl WrappedKey {
+    /// Serializes to the 60-byte wire format.
+    pub fn to_bytes(&self) -> [u8; WRAPPED_LEN] {
+        let mut out = [0u8; WRAPPED_LEN];
+        out[..NONCE_LEN].copy_from_slice(&self.nonce);
+        out[NONCE_LEN..NONCE_LEN + 32].copy_from_slice(&self.ciphertext);
+        out[NONCE_LEN + 32..].copy_from_slice(&self.tag);
+        out
+    }
+
+    /// Parses the 60-byte wire format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::Malformed`] if `bytes` is not exactly
+    /// [`WRAPPED_LEN`] bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        if bytes.len() != WRAPPED_LEN {
+            return Err(CryptoError::Malformed);
+        }
+        let mut nonce = [0u8; NONCE_LEN];
+        let mut ciphertext = [0u8; 32];
+        let mut tag = [0u8; TAG_LEN];
+        nonce.copy_from_slice(&bytes[..NONCE_LEN]);
+        ciphertext.copy_from_slice(&bytes[NONCE_LEN..NONCE_LEN + 32]);
+        tag.copy_from_slice(&bytes[NONCE_LEN + 32..]);
+        Ok(WrappedKey {
+            nonce,
+            ciphertext,
+            tag,
+        })
+    }
+}
+
+fn subkeys(kek: &Key) -> ([u8; 32], [u8; 32]) {
+    (
+        *kek.derive(b"wrap-enc").as_bytes(),
+        *kek.derive(b"wrap-mac").as_bytes(),
+    )
+}
+
+fn compute_tag(mac_key: &[u8; 32], nonce: &[u8; NONCE_LEN], ct: &[u8; 32]) -> [u8; TAG_LEN] {
+    let mut mac = HmacSha256::new(mac_key);
+    mac.update(nonce);
+    mac.update(ct);
+    let full = mac.finalize();
+    let mut tag = [0u8; TAG_LEN];
+    tag.copy_from_slice(&full[..TAG_LEN]);
+    tag
+}
+
+/// Encrypts `payload` under `kek` with a fresh random nonce from `rng`.
+pub fn wrap<R: RngCore>(kek: &Key, payload: &Key, rng: &mut R) -> WrappedKey {
+    let mut nonce = [0u8; NONCE_LEN];
+    rng.fill_bytes(&mut nonce);
+    wrap_with_nonce(kek, payload, nonce)
+}
+
+/// Encrypts `payload` under `kek` with a caller-chosen nonce.
+///
+/// Deterministic; used by tests and by protocol variants that derive
+/// nonces from sequence numbers. Callers must never reuse a nonce with
+/// the same KEK.
+pub fn wrap_with_nonce(kek: &Key, payload: &Key, nonce: [u8; NONCE_LEN]) -> WrappedKey {
+    let (enc_key, mac_key) = subkeys(kek);
+    let mut ciphertext = *payload.as_bytes();
+    chacha20::xor_in_place(&enc_key, &nonce, 1, &mut ciphertext);
+    let tag = compute_tag(&mac_key, &nonce, &ciphertext);
+    WrappedKey {
+        nonce,
+        ciphertext,
+        tag,
+    }
+}
+
+/// Decrypts a wrapped key.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::BadTag`] if `wrapped` was not produced under
+/// `kek` (or was corrupted in transit). This is what a group member
+/// observes when it tries to decrypt a rekey entry that is not
+/// addressed to any key it holds.
+pub fn unwrap(kek: &Key, wrapped: &WrappedKey) -> Result<Key, CryptoError> {
+    let (enc_key, mac_key) = subkeys(kek);
+    let expected = compute_tag(&mac_key, &wrapped.nonce, &wrapped.ciphertext);
+    if !ct_eq(&expected, &wrapped.tag) {
+        return Err(CryptoError::BadTag);
+    }
+    let mut plaintext = wrapped.ciphertext;
+    chacha20::xor_in_place(&enc_key, &wrapped.nonce, 1, &mut plaintext);
+    Ok(Key::from_bytes(plaintext))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xBEEF)
+    }
+
+    #[test]
+    fn wrap_unwrap_roundtrip() {
+        let mut rng = rng();
+        let kek = Key::generate(&mut rng);
+        let payload = Key::generate(&mut rng);
+        let wrapped = wrap(&kek, &payload, &mut rng);
+        assert_eq!(unwrap(&kek, &wrapped).unwrap(), payload);
+    }
+
+    #[test]
+    fn wrong_kek_fails() {
+        let mut rng = rng();
+        let kek = Key::generate(&mut rng);
+        let other = Key::generate(&mut rng);
+        let payload = Key::generate(&mut rng);
+        let wrapped = wrap(&kek, &payload, &mut rng);
+        assert_eq!(unwrap(&other, &wrapped), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn tampered_ciphertext_fails() {
+        let mut rng = rng();
+        let kek = Key::generate(&mut rng);
+        let payload = Key::generate(&mut rng);
+        let wrapped = wrap(&kek, &payload, &mut rng);
+        let mut bytes = wrapped.to_bytes();
+        bytes[NONCE_LEN] ^= 0x01;
+        let tampered = WrappedKey::from_bytes(&bytes).unwrap();
+        assert_eq!(unwrap(&kek, &tampered), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn tampered_nonce_fails() {
+        let mut rng = rng();
+        let kek = Key::generate(&mut rng);
+        let payload = Key::generate(&mut rng);
+        let wrapped = wrap(&kek, &payload, &mut rng);
+        let mut bytes = wrapped.to_bytes();
+        bytes[0] ^= 0x80;
+        let tampered = WrappedKey::from_bytes(&bytes).unwrap();
+        assert_eq!(unwrap(&kek, &tampered), Err(CryptoError::BadTag));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let mut rng = rng();
+        let kek = Key::generate(&mut rng);
+        let payload = Key::generate(&mut rng);
+        let wrapped = wrap(&kek, &payload, &mut rng);
+        let bytes = wrapped.to_bytes();
+        assert_eq!(bytes.len(), WRAPPED_LEN);
+        assert_eq!(WrappedKey::from_bytes(&bytes).unwrap(), wrapped);
+    }
+
+    #[test]
+    fn from_bytes_rejects_bad_length() {
+        assert_eq!(
+            WrappedKey::from_bytes(&[0u8; WRAPPED_LEN - 1]),
+            Err(CryptoError::Malformed)
+        );
+        assert_eq!(
+            WrappedKey::from_bytes(&[0u8; WRAPPED_LEN + 1]),
+            Err(CryptoError::Malformed)
+        );
+    }
+
+    #[test]
+    fn deterministic_with_fixed_nonce() {
+        let kek = Key::from_bytes([1; 32]);
+        let payload = Key::from_bytes([2; 32]);
+        let a = wrap_with_nonce(&kek, &payload, [3; NONCE_LEN]);
+        let b = wrap_with_nonce(&kek, &payload, [3; NONCE_LEN]);
+        assert_eq!(a, b);
+        assert_eq!(unwrap(&kek, &a).unwrap(), payload);
+    }
+
+    #[test]
+    fn distinct_nonces_distinct_ciphertexts() {
+        let kek = Key::from_bytes([1; 32]);
+        let payload = Key::from_bytes([2; 32]);
+        let a = wrap_with_nonce(&kek, &payload, [3; NONCE_LEN]);
+        let b = wrap_with_nonce(&kek, &payload, [4; NONCE_LEN]);
+        assert_ne!(a.to_bytes(), b.to_bytes());
+    }
+}

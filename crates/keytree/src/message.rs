@@ -1,0 +1,154 @@
+//! Group-oriented rekey messages (\[WGL98\]).
+//!
+//! A [`RekeyMessage`] is the unit a key server multicasts after a
+//! (batched) membership change: a sequence of [`RekeyEntry`] items,
+//! each carrying one updated key encrypted under one key its intended
+//! audience already holds. Entries are ordered deepest-target-first so
+//! that a member can process a message in a single pass (a parent's
+//! new key is wrapped under a child's *new* key, whose entry appears
+//! earlier).
+//!
+//! Each entry also carries metadata the reliable-transport layer needs
+//! (\[SZJ02\]'s weighted key assignment): the number of members
+//! interested in the entry (`audience`) and the depth of the target
+//! key, which together determine how valuable the entry is.
+
+use crate::{MemberId, NodeId};
+use rekey_crypto::keywrap::{WrappedKey, WRAPPED_LEN};
+
+/// Fixed per-entry metadata overhead on the wire: two node ids, two
+/// versions, leaf flag, recipient flag + id, audience, depth — in
+/// bytes. Kept in sync with the transport crate's encoder (checked by
+/// a test there).
+pub const ENTRY_HEADER_LEN: usize = 8 + 8 + 8 + 8 + 1 + 1 + 8 + 4 + 4;
+
+/// One encrypted key in a rekey message: `{target}` encrypted under
+/// the current key of `under`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RekeyEntry {
+    /// The node whose new key this entry transports.
+    pub target: NodeId,
+    /// Version of the new key.
+    pub target_version: u64,
+    /// The node whose key encrypts this entry.
+    pub under: NodeId,
+    /// Version of the encrypting key the recipient must hold.
+    pub under_version: u64,
+    /// Whether `under` is a leaf (individual member key); members use
+    /// this to recognise entries addressed directly to them.
+    pub under_is_leaf: bool,
+    /// For leaf-addressed entries, the member the entry is meant for —
+    /// lets receivers skip decryption attempts on entries addressed to
+    /// other members' individual keys.
+    pub recipient: Option<MemberId>,
+    /// Number of members that need this entry (the leaves under
+    /// `under` at the time the message was built).
+    pub audience: u32,
+    /// Depth of `target` in its tree (root = 0). Deeper entries are
+    /// needed by fewer members.
+    pub target_depth: u32,
+    /// The wrapped key material.
+    pub wrapped: WrappedKey,
+}
+
+impl RekeyEntry {
+    /// Serialized size of this entry in bytes.
+    pub fn byte_len(&self) -> usize {
+        ENTRY_HEADER_LEN + WRAPPED_LEN
+    }
+}
+
+/// A multicast rekey message for one rekey event.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RekeyMessage {
+    /// Monotone rekey epoch (one per batch interval).
+    pub epoch: u64,
+    /// Encrypted keys, ordered deepest-target-first.
+    pub entries: Vec<RekeyEntry>,
+}
+
+impl RekeyMessage {
+    /// Creates an empty message for `epoch`.
+    pub fn new(epoch: u64) -> Self {
+        RekeyMessage {
+            epoch,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of encrypted keys — the paper's key-server cost metric.
+    pub fn encrypted_key_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total payload size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.entries.iter().map(RekeyEntry::byte_len).sum()
+    }
+
+    /// Whether the message carries no entries (no key changed).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends all entries of `other` after the entries of `self`.
+    ///
+    /// Used by group-key managers that compose several trees (e.g. the
+    /// two-partition schemes): sub-tree messages come first, then the
+    /// entries distributing the group DEK under the new sub-tree roots.
+    /// Order is preserved, keeping the single-pass decryption property
+    /// as long as `other`'s entries are only encrypted under keys
+    /// established by `self` or already held.
+    pub fn merge(&mut self, other: RekeyMessage) {
+        self.entries.extend(other.entries);
+    }
+
+    /// Iterates over entries together with their index (used by
+    /// transport packetization).
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &RekeyEntry)> {
+        self.entries.iter().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rekey_crypto::{keywrap, Key};
+
+    fn entry(depth: u32) -> RekeyEntry {
+        let kek = Key::from_bytes([1; 32]);
+        let payload = Key::from_bytes([2; 32]);
+        RekeyEntry {
+            target: NodeId::from_parts(0, 1),
+            target_version: 1,
+            under: NodeId::from_parts(0, 2),
+            under_version: 0,
+            under_is_leaf: false,
+            recipient: None,
+            audience: 5,
+            target_depth: depth,
+            wrapped: keywrap::wrap_with_nonce(&kek, &payload, [0; 12]),
+        }
+    }
+
+    #[test]
+    fn counts_and_sizes() {
+        let mut msg = RekeyMessage::new(3);
+        assert!(msg.is_empty());
+        msg.entries.push(entry(0));
+        msg.entries.push(entry(1));
+        assert_eq!(msg.encrypted_key_count(), 2);
+        assert_eq!(msg.byte_len(), 2 * (ENTRY_HEADER_LEN + WRAPPED_LEN));
+    }
+
+    #[test]
+    fn merge_preserves_order() {
+        let mut a = RekeyMessage::new(1);
+        a.entries.push(entry(2));
+        let mut b = RekeyMessage::new(1);
+        b.entries.push(entry(0));
+        a.merge(b);
+        assert_eq!(a.entries[0].target_depth, 2);
+        assert_eq!(a.entries[1].target_depth, 0);
+    }
+}

@@ -1,0 +1,227 @@
+//! The linear-queue partition used by the paper's QT-scheme (§3.2).
+//!
+//! In the QT-scheme the S-partition is not a tree: each short-term
+//! member holds only its individual key and the group key. A join
+//! therefore costs a single group-key update, while a departure costs
+//! one encryption per remaining queue member (the new group key is
+//! wrapped individually for each of them).
+//!
+//! [`KeyQueue`] tracks the members, their individual keys, their queue
+//! node ids (used as `under` in rekey entries addressed to them), and
+//! their join epochs so the manager can migrate members older than the
+//! S-period to the L-partition.
+
+use crate::{KeyTreeError, MemberId, NodeId};
+use rekey_crypto::Key;
+use std::collections::{HashMap, VecDeque};
+
+/// One member's slot in the queue.
+#[derive(Debug, Clone)]
+pub struct QueueSlot {
+    /// The member occupying this slot.
+    pub member: MemberId,
+    /// Pseudo-node id identifying the member's individual key in rekey
+    /// entries.
+    pub node: NodeId,
+    /// The member's individual key.
+    pub individual_key: Key,
+    /// Rekey epoch at which the member joined the queue.
+    pub joined_epoch: u64,
+}
+
+/// A FIFO of short-term members keyed only by their individual keys.
+#[derive(Debug, Clone)]
+pub struct KeyQueue {
+    namespace: u32,
+    next_counter: u64,
+    by_member: HashMap<MemberId, QueueSlot>,
+    arrival_order: VecDeque<MemberId>,
+}
+
+impl KeyQueue {
+    /// Creates an empty queue drawing node ids from `namespace`.
+    pub fn new(namespace: u32) -> Self {
+        KeyQueue {
+            namespace,
+            next_counter: 0,
+            by_member: HashMap::new(),
+            arrival_order: VecDeque::new(),
+        }
+    }
+
+    /// Number of members currently queued (the paper's `Ns` for the
+    /// QT-scheme).
+    pub fn len(&self) -> usize {
+        self.by_member.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_member.is_empty()
+    }
+
+    /// Whether `member` is in the queue.
+    pub fn contains(&self, member: MemberId) -> bool {
+        self.by_member.contains_key(&member)
+    }
+
+    /// The slot of `member`, if queued.
+    pub fn slot(&self, member: MemberId) -> Option<&QueueSlot> {
+        self.by_member.get(&member)
+    }
+
+    /// Enqueues a member.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyTreeError::DuplicateMember`] if already queued.
+    pub fn push(
+        &mut self,
+        member: MemberId,
+        individual_key: Key,
+        epoch: u64,
+    ) -> Result<NodeId, KeyTreeError> {
+        if self.contains(member) {
+            return Err(KeyTreeError::DuplicateMember(member));
+        }
+        let node = NodeId::from_parts(self.namespace, self.next_counter);
+        self.next_counter += 1;
+        self.by_member.insert(
+            member,
+            QueueSlot {
+                member,
+                node,
+                individual_key,
+                joined_epoch: epoch,
+            },
+        );
+        self.arrival_order.push_back(member);
+        Ok(node)
+    }
+
+    /// Removes a member (departure before the S-period elapsed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyTreeError::UnknownMember`] if not queued.
+    pub fn remove(&mut self, member: MemberId) -> Result<QueueSlot, KeyTreeError> {
+        let slot = self
+            .by_member
+            .remove(&member)
+            .ok_or(KeyTreeError::UnknownMember(member))?;
+        // Arrival order is cleaned lazily in `pop_older_than`.
+        Ok(slot)
+    }
+
+    /// Removes and returns every member that joined at or before
+    /// `epoch` (i.e. whose age exceeds the S-period) in arrival order —
+    /// the migration batch for the L-partition.
+    pub fn pop_older_than(&mut self, epoch: u64) -> Vec<QueueSlot> {
+        let mut migrated = Vec::new();
+        while let Some(&front) = self.arrival_order.front() {
+            match self.by_member.get(&front) {
+                None => {
+                    // Stale entry for a member removed earlier.
+                    self.arrival_order.pop_front();
+                }
+                Some(slot) if slot.joined_epoch <= epoch => {
+                    let slot = self.by_member.remove(&front).expect("checked present");
+                    self.arrival_order.pop_front();
+                    migrated.push(slot);
+                }
+                Some(_) => break, // FIFO: the rest are younger
+            }
+        }
+        migrated
+    }
+
+    /// Iterates over all queued members' slots in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = &QueueSlot> {
+        self.by_member.values()
+    }
+
+    /// All queued member ids.
+    pub fn members(&self) -> Vec<MemberId> {
+        self.by_member.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key(rng: &mut StdRng) -> Key {
+        Key::generate(rng)
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut q = KeyQueue::new(5);
+        let n0 = q.push(MemberId(0), key(&mut rng), 1).unwrap();
+        let n1 = q.push(MemberId(1), key(&mut rng), 2).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_ne!(n0, n1);
+        assert_eq!(n0.namespace(), 5);
+    }
+
+    #[test]
+    fn duplicate_push_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut q = KeyQueue::new(0);
+        q.push(MemberId(0), key(&mut rng), 1).unwrap();
+        assert_eq!(
+            q.push(MemberId(0), key(&mut rng), 2).unwrap_err(),
+            KeyTreeError::DuplicateMember(MemberId(0))
+        );
+    }
+
+    #[test]
+    fn remove_unknown_rejected() {
+        let mut q = KeyQueue::new(0);
+        assert_eq!(
+            q.remove(MemberId(9)).unwrap_err(),
+            KeyTreeError::UnknownMember(MemberId(9))
+        );
+    }
+
+    #[test]
+    fn pop_older_than_respects_epochs_and_order() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut q = KeyQueue::new(0);
+        for (m, e) in [(0u64, 1u64), (1, 2), (2, 5), (3, 9)] {
+            q.push(MemberId(m), key(&mut rng), e).unwrap();
+        }
+        let migrated = q.pop_older_than(5);
+        let ids: Vec<_> = migrated.iter().map(|s| s.member).collect();
+        assert_eq!(ids, vec![MemberId(0), MemberId(1), MemberId(2)]);
+        assert_eq!(q.len(), 1);
+        assert!(q.contains(MemberId(3)));
+    }
+
+    #[test]
+    fn pop_older_than_skips_removed_members() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut q = KeyQueue::new(0);
+        for m in 0..4u64 {
+            q.push(MemberId(m), key(&mut rng), 1).unwrap();
+        }
+        q.remove(MemberId(0)).unwrap();
+        q.remove(MemberId(2)).unwrap();
+        let migrated = q.pop_older_than(1);
+        let ids: Vec<_> = migrated.iter().map(|s| s.member).collect();
+        assert_eq!(ids, vec![MemberId(1), MemberId(3)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn slots_keep_individual_keys() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut q = KeyQueue::new(0);
+        let k = key(&mut rng);
+        q.push(MemberId(0), k.clone(), 1).unwrap();
+        assert_eq!(q.slot(MemberId(0)).unwrap().individual_key, k);
+    }
+}

@@ -1,0 +1,646 @@
+//! Key-server side of LKH: turning membership changes into rekey
+//! messages.
+//!
+//! [`LkhServer`] owns a [`crate::tree::KeyTree`] and implements
+//! *periodic batch rekeying* (\[SKJ00, YLZL01\]): all joins and leaves
+//! of a rekey interval are applied together, the union of affected
+//! paths is refreshed once, and a single [`RekeyMessage`] is emitted.
+//!
+//! Two wrapping strategies are used, following the paper:
+//!
+//! - **Mixed or leave batches** use group-oriented rekeying: every
+//!   refreshed key is encrypted under the current key of each of its
+//!   children (`d` encryptions per updated key — the cost model of
+//!   Appendix A). This is the only safe strategy once any member has
+//!   departed, since departed members know the old path keys.
+//! - **Pure join batches** use the cheaper join procedure of §2.1:
+//!   every refreshed key is encrypted once under its *own previous
+//!   version* (all existing members can decrypt that) plus once under
+//!   the individual key of each joining member beneath it.
+
+use crate::message::{RekeyEntry, RekeyMessage};
+use crate::tree::KeyTree;
+use crate::{KeyTreeError, MemberId, NodeId};
+use rand::RngCore;
+use rekey_crypto::{keywrap, Key};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Statistics about one batched rekey operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Members added in this batch.
+    pub joins: usize,
+    /// Members removed in this batch.
+    pub leaves: usize,
+    /// Key nodes whose keys were refreshed.
+    pub refreshed_keys: usize,
+    /// Encrypted keys emitted — the paper's bandwidth metric.
+    pub encrypted_keys: usize,
+}
+
+/// Result of applying one batch of membership changes.
+#[derive(Debug, Clone)]
+pub struct BatchOutcome {
+    /// The multicast rekey message for this epoch.
+    pub message: RekeyMessage,
+    /// Leaf node assigned to each member that joined in this batch.
+    pub joined_leaves: Vec<(MemberId, NodeId)>,
+    /// Statistics for this batch.
+    pub stats: BatchStats,
+}
+
+/// The key server for one logical key tree.
+#[derive(Debug, Clone)]
+pub struct LkhServer {
+    tree: KeyTree,
+    epoch: u64,
+}
+
+impl LkhServer {
+    /// Creates a server managing an empty key tree of the given degree,
+    /// drawing node ids from `namespace`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree < 2`.
+    pub fn new(degree: usize, namespace: u32) -> Self {
+        // A deterministic bootstrap RNG only seeds the initial (empty)
+        // root key, which is replaced on the first batch; all rekeying
+        // randomness comes from the caller's RNG.
+        let mut boot = rand::rngs::mock::StepRng::new(0x5eed, 0x9e3779b97f4a7c15);
+        LkhServer {
+            tree: KeyTree::new(degree, namespace, &mut boot),
+            epoch: 0,
+        }
+    }
+
+    /// Read access to the underlying tree.
+    pub fn tree(&self) -> &KeyTree {
+        &self.tree
+    }
+
+    /// The current rekey epoch (number of batches applied).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Id of the tree root node (stable).
+    pub fn root_node(&self) -> NodeId {
+        self.tree.root_id()
+    }
+
+    /// The current root (subgroup) key.
+    pub fn root_key(&self) -> &Key {
+        self.tree.root_key()
+    }
+
+    /// Current version of the root key.
+    pub fn root_version(&self) -> u64 {
+        self.tree.root_version()
+    }
+
+    /// Number of members in the tree.
+    pub fn member_count(&self) -> usize {
+        self.tree.member_count()
+    }
+
+    /// Whether `member` is currently in the tree.
+    pub fn contains(&self, member: MemberId) -> bool {
+        self.tree.contains(member)
+    }
+
+    /// Members under `node` (the audience of an entry wrapped under
+    /// that node's key).
+    pub fn members_under(&self, node: NodeId) -> Vec<MemberId> {
+        self.tree.members_under(node)
+    }
+
+    /// Applies a batch of joins and leaves and returns the rekey
+    /// message.
+    ///
+    /// # Errors
+    ///
+    /// [`KeyTreeError::DuplicateMember`] / [`KeyTreeError::UnknownMember`]
+    /// if the batch references members inconsistently; the tree is left
+    /// with all changes up to the offending one applied, so callers
+    /// should treat this as a programming error.
+    pub fn try_apply_batch<R: RngCore>(
+        &mut self,
+        joins: &[(MemberId, Key)],
+        leaves: &[MemberId],
+        rng: &mut R,
+    ) -> Result<BatchOutcome, KeyTreeError> {
+        self.epoch += 1;
+        let mut dirty: BTreeSet<NodeId> = BTreeSet::new();
+        // Remember pre-refresh versions for the pure-join fast path.
+        let mut old_versions: BTreeMap<NodeId, (u64, Key)> = BTreeMap::new();
+
+        // Slots vacated by departures are re-used for joiners
+        // ([YLZL01] batch rekeying): with J = L the join paths then
+        // coincide with the leave paths and the batch costs Ne(N, L).
+        let mut vacancies: std::collections::VecDeque<NodeId> = std::collections::VecDeque::new();
+        for &member in leaves {
+            let removed_dirty = self.tree.remove_member(member)?;
+            if let Some(&parent) = removed_dirty.first() {
+                vacancies.push_back(parent);
+            }
+            dirty.extend(removed_dirty);
+        }
+
+        let mut joined_leaves = Vec::with_capacity(joins.len());
+        let mut created: BTreeSet<NodeId> = BTreeSet::new();
+        for (member, individual_key) in joins {
+            let mut outcome = None;
+            while let Some(slot) = vacancies.pop_front() {
+                if let Some(at_slot) =
+                    self.tree
+                        .insert_member_at(*member, individual_key.clone(), slot)?
+                {
+                    outcome = Some(at_slot);
+                    break;
+                }
+            }
+            let outcome = match outcome {
+                Some(o) => o,
+                None => self
+                    .tree
+                    .insert_member(*member, individual_key.clone(), rng)?,
+            };
+            joined_leaves.push((*member, outcome.leaf));
+            dirty.extend(outcome.dirty_path);
+            if let Some(node) = outcome.created_interior {
+                created.insert(node);
+            }
+        }
+
+        // Drop nodes that later structural repair deleted.
+        dirty.retain(|node| self.tree.key_of(*node).is_some());
+
+        // Snapshot old keys, then refresh.
+        for node in &dirty {
+            let (key, version) = self.tree.key_of(*node).expect("dirty node is alive");
+            old_versions.insert(*node, (version, key.clone()));
+        }
+        for node in &dirty {
+            self.tree.refresh_key(*node, rng);
+        }
+
+        let mut entries = Vec::new();
+        let pure_join = leaves.is_empty();
+        if pure_join {
+            self.emit_join_entries(
+                &dirty,
+                &created,
+                &old_versions,
+                &joined_leaves,
+                rng,
+                &mut entries,
+            );
+        } else {
+            self.emit_group_oriented_entries(&dirty, rng, &mut entries);
+        }
+
+        // Deepest targets first => members decrypt in one pass.
+        entries.sort_by_key(|e| std::cmp::Reverse(e.target_depth));
+
+        let stats = BatchStats {
+            joins: joins.len(),
+            leaves: leaves.len(),
+            refreshed_keys: dirty.len(),
+            encrypted_keys: entries.len(),
+        };
+        Ok(BatchOutcome {
+            message: RekeyMessage {
+                epoch: self.epoch,
+                entries,
+            },
+            joined_leaves,
+            stats,
+        })
+    }
+
+    /// Infallible wrapper around [`LkhServer::try_apply_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch adds a member already present or removes a
+    /// member not present.
+    pub fn apply_batch<R: RngCore>(
+        &mut self,
+        joins: &[(MemberId, Key)],
+        leaves: &[MemberId],
+        rng: &mut R,
+    ) -> BatchOutcome {
+        self.try_apply_batch(joins, leaves, rng)
+            .expect("inconsistent membership batch")
+    }
+
+    /// Admits a single member immediately (non-batched join).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the member is already present.
+    pub fn join<R: RngCore>(
+        &mut self,
+        member: MemberId,
+        individual_key: Key,
+        rng: &mut R,
+    ) -> RekeyMessage {
+        self.apply_batch(&[(member, individual_key)], &[], rng).message
+    }
+
+    /// Evicts a single member immediately (non-batched leave).
+    ///
+    /// # Errors
+    ///
+    /// [`KeyTreeError::UnknownMember`] if the member is not present.
+    pub fn leave<R: RngCore>(
+        &mut self,
+        member: MemberId,
+        rng: &mut R,
+    ) -> Result<RekeyMessage, KeyTreeError> {
+        Ok(self.try_apply_batch(&[], &[member], rng)?.message)
+    }
+
+    /// Refreshes only the root key, encrypting the new root key under
+    /// the previous root key (1 entry). Safe only when no member has
+    /// departed since the previous root key was issued — used by the
+    /// QT-scheme's join phase (§3.2 phase 1).
+    pub fn rekey_root_only<R: RngCore>(&mut self, rng: &mut R) -> RekeyMessage {
+        self.epoch += 1;
+        let root = self.tree.root_id();
+        let (old_key, old_version) = {
+            let (k, v) = self.tree.key_of(root).expect("root always exists");
+            (k.clone(), v)
+        };
+        let new_version = self.tree.refresh_key(root, rng);
+        let wrapped = keywrap::wrap(&old_key, self.tree.root_key(), rng);
+        RekeyMessage {
+            epoch: self.epoch,
+            entries: vec![RekeyEntry {
+                target: root,
+                target_version: new_version,
+                under: root,
+                under_version: old_version,
+                under_is_leaf: false,
+                recipient: None,
+                audience: self.tree.member_count() as u32,
+                target_depth: 0,
+                wrapped,
+            }],
+        }
+    }
+
+    /// Produces the entries delivering this tree's *current* root key
+    /// to a set of foreign key holders — used by managers to wrap a
+    /// group DEK under partition roots, or to deliver the root to
+    /// queue members. Exposed for composition; most callers want
+    /// [`LkhServer::apply_batch`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn wrap_root_under<R: RngCore>(
+        &self,
+        under: NodeId,
+        under_version: u64,
+        under_key: &Key,
+        under_is_leaf: bool,
+        recipient: Option<MemberId>,
+        audience: u32,
+        rng: &mut R,
+    ) -> RekeyEntry {
+        RekeyEntry {
+            target: self.tree.root_id(),
+            target_version: self.tree.root_version(),
+            under,
+            under_version,
+            under_is_leaf,
+            recipient,
+            audience,
+            target_depth: 0,
+            wrapped: keywrap::wrap(under_key, self.tree.root_key(), rng),
+        }
+    }
+
+    fn emit_group_oriented_entries<R: RngCore>(
+        &self,
+        dirty: &BTreeSet<NodeId>,
+        rng: &mut R,
+        entries: &mut Vec<RekeyEntry>,
+    ) {
+        for &node in dirty {
+            let (new_key, new_version) = {
+                let (k, v) = self.tree.key_of(node).expect("dirty node is alive");
+                (k.clone(), v)
+            };
+            let depth = self.tree.depth_of(node).expect("dirty node is alive") as u32;
+            let children = self.tree.children_info(node).expect("dirty node is alive");
+            for child in children {
+                entries.push(RekeyEntry {
+                    target: node,
+                    target_version: new_version,
+                    under: child.id,
+                    under_version: child.version,
+                    under_is_leaf: child.is_leaf,
+                    recipient: child.member,
+                    audience: child.audience as u32,
+                    target_depth: depth,
+                    wrapped: keywrap::wrap(child.key, &new_key, rng),
+                });
+            }
+        }
+    }
+
+    fn emit_join_entries<R: RngCore>(
+        &self,
+        dirty: &BTreeSet<NodeId>,
+        created: &BTreeSet<NodeId>,
+        old_versions: &BTreeMap<NodeId, (u64, Key)>,
+        joined_leaves: &[(MemberId, NodeId)],
+        rng: &mut R,
+        entries: &mut Vec<RekeyEntry>,
+    ) {
+        // Paths of the new members, leaf-side first.
+        let new_leaf_keys: BTreeMap<NodeId, Key> = joined_leaves
+            .iter()
+            .map(|(_, leaf)| {
+                let (k, _) = self.tree.key_of(*leaf).expect("fresh leaf is alive");
+                (*leaf, k.clone())
+            })
+            .collect();
+
+        for &node in dirty {
+            let (new_key, new_version) = {
+                let (k, v) = self.tree.key_of(node).expect("dirty node is alive");
+                (k.clone(), v)
+            };
+            let depth = self.tree.depth_of(node).expect("dirty node is alive") as u32;
+            let audience = self.tree.leaf_count_under(node) as u32;
+
+            // One entry under the node's own previous key: every
+            // existing member below already holds it. A brand-new node
+            // (created by a leaf split) has no previous holders and
+            // skips this entry.
+            if let Some((old_version, old_key)) = old_versions.get(&node) {
+                if *old_version < new_version && !created.contains(&node) {
+                    entries.push(RekeyEntry {
+                        target: node,
+                        target_version: new_version,
+                        under: node,
+                        under_version: *old_version,
+                        under_is_leaf: false,
+                        recipient: None,
+                        audience,
+                        target_depth: depth,
+                        wrapped: keywrap::wrap(old_key, &new_key, rng),
+                    });
+                }
+            }
+
+            // One entry per joining member whose path contains `node`.
+            for (member, leaf) in joined_leaves {
+                let path = self.tree.path_of(*member).expect("member just joined");
+                if path.contains(&node) {
+                    entries.push(RekeyEntry {
+                        target: node,
+                        target_version: new_version,
+                        under: *leaf,
+                        under_version: 0,
+                        under_is_leaf: true,
+                        recipient: Some(*member),
+                        audience: 1,
+                        target_depth: depth,
+                        wrapped: keywrap::wrap(&new_leaf_keys[leaf], &new_key, rng),
+                    });
+                }
+            }
+        }
+
+        // Interior nodes freshly created by leaf splits may have
+        // pre-existing members below (the split leaf); deliver the new
+        // node's key to them under their existing child keys.
+        for &node in created {
+                let (new_key, new_version) = {
+                    let (k, v) = self.tree.key_of(node).expect("dirty node is alive");
+                    (k.clone(), v)
+                };
+                let depth = self.tree.depth_of(node).expect("dirty node is alive") as u32;
+                let children = self.tree.children_info(node).expect("dirty node is alive");
+                let new_leaves: BTreeSet<NodeId> =
+                    joined_leaves.iter().map(|(_, l)| *l).collect();
+                for child in children {
+                    if new_leaves.contains(&child.id) {
+                        continue; // already covered by per-joiner entries
+                    }
+                    entries.push(RekeyEntry {
+                        target: node,
+                        target_version: new_version,
+                        under: child.id,
+                        under_version: child.version,
+                        under_is_leaf: child.is_leaf,
+                        recipient: child.member,
+                        audience: child.audience as u32,
+                        target_depth: depth,
+                        wrapped: keywrap::wrap(child.key, &new_key, rng),
+                    });
+                }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::member::GroupMember;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    /// Builds a server with `n` members, returning the member states
+    /// fully synchronized with the server.
+    fn build_group(degree: usize, n: u64) -> (LkhServer, Vec<GroupMember>, StdRng) {
+        let mut rng = rng();
+        let mut server = LkhServer::new(degree, 0);
+        let joins: Vec<(MemberId, Key)> = (0..n)
+            .map(|i| (MemberId(i), Key::generate(&mut rng)))
+            .collect();
+        let outcome = server.apply_batch(&joins, &[], &mut rng);
+        let mut members: Vec<GroupMember> = joins
+            .iter()
+            .map(|(id, ik)| GroupMember::new(*id, ik.clone()))
+            .collect();
+        for m in &mut members {
+            m.process(&outcome.message).unwrap();
+        }
+        (server, members, rng)
+    }
+
+    fn assert_all_have_root(server: &LkhServer, members: &[GroupMember], skip: &[MemberId]) {
+        for m in members {
+            if skip.contains(&m.id()) {
+                continue;
+            }
+            assert_eq!(
+                m.key_for(server.root_node()),
+                Some(server.root_key()),
+                "member {} lost the group key",
+                m.id()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_join_synchronizes_everyone() {
+        let (server, members, _) = build_group(4, 37);
+        assert_eq!(server.member_count(), 37);
+        assert_all_have_root(&server, &members, &[]);
+    }
+
+    #[test]
+    fn batch_leave_rekeys_survivors() {
+        let (mut server, mut members, mut rng) = build_group(4, 20);
+        let leavers = [MemberId(3), MemberId(7), MemberId(11)];
+        let outcome = server.apply_batch(&[], &leavers, &mut rng);
+        for m in &mut members {
+            if !leavers.contains(&m.id()) {
+                m.process(&outcome.message).unwrap();
+            }
+        }
+        assert_all_have_root(&server, &members, &leavers);
+    }
+
+    #[test]
+    fn departed_member_cannot_follow_rekey() {
+        let (mut server, mut members, mut rng) = build_group(4, 16);
+        let outcome = server.apply_batch(&[], &[MemberId(5)], &mut rng);
+        // The departed member processes the message anyway.
+        let evicted = &mut members[5];
+        evicted.process(&outcome.message).unwrap();
+        assert_ne!(
+            evicted.key_for(server.root_node()),
+            Some(server.root_key()),
+            "forward secrecy violated"
+        );
+    }
+
+    #[test]
+    fn new_member_cannot_learn_old_root() {
+        let (mut server, _, mut rng) = build_group(4, 16);
+        let old_root = server.root_key().clone();
+        let ik = Key::generate(&mut rng);
+        let msg = server.join(MemberId(99), ik.clone(), &mut rng);
+        let mut newbie = GroupMember::new(MemberId(99), ik);
+        newbie.process(&msg).unwrap();
+        assert_eq!(newbie.key_for(server.root_node()), Some(server.root_key()));
+        assert_ne!(
+            newbie.key_for(server.root_node()),
+            Some(&old_root),
+            "backward secrecy violated"
+        );
+    }
+
+    #[test]
+    fn mixed_batch_joins_and_leaves() {
+        let (mut server, mut members, mut rng) = build_group(3, 30);
+        let joins: Vec<(MemberId, Key)> = (100..110)
+            .map(|i| (MemberId(i), Key::generate(&mut rng)))
+            .collect();
+        let leavers: Vec<MemberId> = (0..10).map(MemberId).collect();
+        let outcome = server.apply_batch(&joins, &leavers, &mut rng);
+        assert_eq!(server.member_count(), 30);
+
+        for m in &mut members {
+            if !leavers.contains(&m.id()) {
+                m.process(&outcome.message).unwrap();
+            }
+        }
+        let mut newbies: Vec<GroupMember> = joins
+            .iter()
+            .map(|(id, ik)| GroupMember::new(*id, ik.clone()))
+            .collect();
+        for m in &mut newbies {
+            m.process(&outcome.message).unwrap();
+        }
+        assert_all_have_root(&server, &members, &leavers);
+        assert_all_have_root(&server, &newbies, &[]);
+    }
+
+    #[test]
+    fn pure_join_batch_is_cheaper_than_group_oriented() {
+        // A join-only batch should cost ~2 entries per refreshed key
+        // (self + joiner) rather than d entries.
+        let (mut server, _, mut rng) = build_group(4, 64);
+        let ik = Key::generate(&mut rng);
+        let outcome = server.apply_batch(&[(MemberId(999), ik)], &[], &mut rng);
+        let refreshed = outcome.stats.refreshed_keys;
+        assert!(
+            outcome.stats.encrypted_keys <= 2 * refreshed + 2,
+            "join cost {} too high for {} refreshed keys",
+            outcome.stats.encrypted_keys,
+            refreshed
+        );
+    }
+
+    #[test]
+    fn leave_cost_is_about_d_log_n() {
+        let (mut server, _, mut rng) = build_group(4, 256);
+        let msg = server.leave(MemberId(17), &mut rng).unwrap();
+        // d * log_d(N) = 4 * 4 = 16; allow slack for imbalance.
+        let n = msg.encrypted_key_count();
+        assert!((4..=24).contains(&n), "leave cost {n} out of range");
+    }
+
+    #[test]
+    fn epoch_increments_per_batch() {
+        let (mut server, _, mut rng) = build_group(4, 4);
+        let e0 = server.epoch();
+        server.apply_batch(&[], &[MemberId(0)], &mut rng);
+        assert_eq!(server.epoch(), e0 + 1);
+    }
+
+    #[test]
+    fn rekey_root_only_reaches_existing_members() {
+        let (mut server, mut members, mut rng) = build_group(4, 8);
+        let msg = server.rekey_root_only(&mut rng);
+        assert_eq!(msg.encrypted_key_count(), 1);
+        for m in &mut members {
+            m.process(&msg).unwrap();
+        }
+        assert_all_have_root(&server, &members, &[]);
+    }
+
+    #[test]
+    fn entries_sorted_deepest_first() {
+        let (mut server, _, mut rng) = build_group(4, 64);
+        let outcome = server.apply_batch(&[], &[MemberId(0), MemberId(32)], &mut rng);
+        let depths: Vec<u32> = outcome
+            .message
+            .entries
+            .iter()
+            .map(|e| e.target_depth)
+            .collect();
+        let mut sorted = depths.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(depths, sorted);
+    }
+
+    #[test]
+    fn try_apply_batch_rejects_unknown_leaver() {
+        let (mut server, _, mut rng) = build_group(4, 4);
+        let err = server
+            .try_apply_batch(&[], &[MemberId(777)], &mut rng)
+            .unwrap_err();
+        assert_eq!(err, KeyTreeError::UnknownMember(MemberId(777)));
+    }
+
+    #[test]
+    fn audience_matches_subtree_sizes() {
+        let (mut server, _, mut rng) = build_group(4, 64);
+        let outcome = server.apply_batch(&[], &[MemberId(1)], &mut rng);
+        for entry in &outcome.message.entries {
+            let actual = server.members_under(entry.under).len();
+            assert_eq!(entry.audience as usize, actual, "entry under {}", entry.under);
+        }
+    }
+}

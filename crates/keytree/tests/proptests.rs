@@ -1,0 +1,114 @@
+//! Property-based tests: structural invariants and end-to-end secrecy
+//! under random operation sequences.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rekey_crypto::Key;
+use rekey_keytree::member::GroupMember;
+use rekey_keytree::server::LkhServer;
+use rekey_keytree::tree::KeyTree;
+use rekey_keytree::MemberId;
+
+/// A randomized membership script: joins (true) and leaves (false,
+/// removing the oldest present member).
+fn script() -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(any::<bool>(), 1..120)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The tree maintains its structural invariants under arbitrary
+    /// join/leave interleavings.
+    #[test]
+    fn tree_invariants_hold(ops in script(), degree in 2usize..6, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tree = KeyTree::new(degree, 0, &mut rng);
+        let mut present: Vec<MemberId> = Vec::new();
+        let mut next = 0u64;
+        for op in ops {
+            if op || present.is_empty() {
+                let m = MemberId(next);
+                next += 1;
+                tree.insert_member(m, Key::generate(&mut rng), &mut rng).unwrap();
+                present.push(m);
+            } else {
+                let m = present.remove(0);
+                tree.remove_member(m).unwrap();
+            }
+            tree.check_invariants();
+        }
+        prop_assert_eq!(tree.member_count(), present.len());
+    }
+
+    /// Tree height stays logarithmic under pure growth.
+    #[test]
+    fn growth_stays_balanced(n in 1usize..300, degree in 2usize..5) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut tree = KeyTree::new(degree, 0, &mut rng);
+        for i in 0..n {
+            tree.insert_member(MemberId(i as u64), Key::generate(&mut rng), &mut rng).unwrap();
+        }
+        let ideal = (n.max(2) as f64).log(degree as f64).ceil() as usize;
+        prop_assert!(tree.height() <= ideal + 2,
+            "height {} vs ideal {} for n={} d={}", tree.height(), ideal, n, degree);
+    }
+
+    /// After any sequence of batches, every current member can derive
+    /// the group key and every departed member cannot.
+    #[test]
+    fn end_to_end_secrecy(ops in script(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut server = LkhServer::new(3, 0);
+        let mut states: Vec<GroupMember> = Vec::new();
+        let mut present: Vec<usize> = Vec::new();
+        let mut departed: Vec<usize> = Vec::new();
+
+        // Process ops in small batches of up to 4.
+        let mut next = 0u64;
+        for chunk in ops.chunks(4) {
+            let mut joins = Vec::new();
+            let mut leaves = Vec::new();
+            for &op in chunk {
+                if op || present.len() <= leaves.len() {
+                    let ik = Key::generate(&mut rng);
+                    joins.push((MemberId(next), ik.clone()));
+                    states.push(GroupMember::new(MemberId(next), ik));
+                    next += 1;
+                } else {
+                    let idx = present[leaves.len()];
+                    leaves.push(MemberId(states[idx].id().0));
+                }
+            }
+            let leaving: Vec<usize> = present
+                .iter()
+                .copied()
+                .filter(|&i| leaves.contains(&states[i].id()))
+                .collect();
+            present.retain(|i| !leaving.contains(i));
+            for (id, _) in &joins {
+                present.push(states.iter().position(|s| s.id() == *id).unwrap());
+            }
+            departed.extend(leaving);
+
+            let outcome = server.apply_batch(&joins, &leaves, &mut rng);
+            // Everyone — current and departed — sees the multicast.
+            for s in states.iter_mut() {
+                let _ = s.process(&outcome.message);
+            }
+        }
+
+        let root = server.root_node();
+        for &i in &present {
+            prop_assert_eq!(
+                states[i].key_for(root), Some(server.root_key()),
+                "member {} lost sync", states[i].id());
+        }
+        for &i in &departed {
+            prop_assert_ne!(
+                states[i].key_for(root), Some(server.root_key()),
+                "departed member {} still holds the group key", states[i].id());
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Summary statistics for simulation series.
+
+use serde::{Deserialize, Serialize};
+
+/// Mean / deviation / extrema of a series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than 2 samples).
+    pub stddev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes `values` (all zeros for an empty slice).
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                stddev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = if values.len() > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        let (min, max) = values
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
+        Summary {
+            count: values.len(),
+            mean,
+            stddev: var.sqrt(),
+            min,
+            max,
+        }
+    }
+
+    /// Relative half-width of a crude 95% confidence interval
+    /// (`1.96·σ/(√n·mean)`); 0 when undefined.
+    pub fn relative_ci(&self) -> f64 {
+        if self.count < 2 || self.mean == 0.0 {
+            return 0.0;
+        }
+        1.96 * self.stddev / ((self.count as f64).sqrt() * self.mean.abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.stddev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn summary_of_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn single_value_has_zero_stddev() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.relative_ci(), 0.0);
+    }
+
+    #[test]
+    fn relative_ci_shrinks_with_samples() {
+        let few = Summary::of(&[1.0, 2.0, 3.0]);
+        let series: Vec<f64> = (0..300).map(|i| 1.0 + (i % 3) as f64).collect();
+        let many = Summary::of(&series);
+        assert!(many.relative_ci() < few.relative_ci());
+    }
+}

@@ -1,0 +1,385 @@
+//! Proactive-FEC rekey transport \[YLZL01\], on real Reed–Solomon
+//! erasure codes.
+//!
+//! The rekey payload is packed into payload packets, grouped into FEC
+//! blocks of `k` packets. Each block is extended with parity packets
+//! computed by [`crate::rs::ReedSolomon`]; `⌈ρk⌉ − k` parity packets
+//! are sent *proactively* with the first round (the protocol's answer
+//! to the soft real-time requirement of key delivery). A receiver
+//! reconstructs a block from any `k` of its shards; receivers still
+//! short after a round NACK their deficit and the server multicasts
+//! fresh parity — never previously-sent packets — sized to the largest
+//! reported deficit.
+
+use crate::interest::InterestMap;
+use crate::loss::Population;
+use crate::packet::{pack, Packet, PacketConfig};
+use crate::rs::ReedSolomon;
+use crate::DeliveryReport;
+use rand::Rng;
+use rekey_keytree::message::RekeyMessage;
+use rekey_keytree::MemberId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration of a proactive-FEC delivery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FecConfig {
+    /// Packet capacity in entries.
+    pub packet: PacketConfig,
+    /// Payload packets per FEC block (`k`).
+    pub block_packets: usize,
+    /// Proactivity factor `ρ ≥ 1`.
+    pub proactivity: f64,
+    /// Round budget.
+    pub max_rounds: usize,
+    /// When set, every receiver's reconstruction is actually performed
+    /// with the Reed–Solomon decoder and checked against the original
+    /// bytes (slow; used by tests).
+    pub verify_reconstruction: bool,
+}
+
+impl Default for FecConfig {
+    fn default() -> Self {
+        FecConfig {
+            packet: PacketConfig::default(),
+            block_packets: 8,
+            proactivity: 1.25,
+            max_rounds: 64,
+            verify_reconstruction: false,
+        }
+    }
+}
+
+struct Block {
+    /// Payload packets of this block.
+    packets: Vec<Packet>,
+    /// Serialized shard bytes (payload shards, padded to equal length).
+    shards: Vec<Vec<u8>>,
+    /// The erasure code (k = packets.len(), max parity).
+    code: ReedSolomon,
+    /// Parity shards generated so far (lazily extended).
+    parity: Vec<Vec<u8>>,
+    /// Shards transmitted so far (indices into data+parity space).
+    sent: usize,
+}
+
+impl Block {
+    fn new(packets: Vec<Packet>, message: &RekeyMessage) -> Self {
+        let mut shards: Vec<Vec<u8>> = packets.iter().map(|p| p.to_bytes(message)).collect();
+        let max_len = shards.iter().map(Vec::len).max().unwrap_or(0);
+        for s in &mut shards {
+            s.resize(max_len, 0);
+        }
+        let k = packets.len();
+        let code = ReedSolomon::new(k, 255 - k);
+        Block {
+            packets,
+            shards,
+            code,
+            parity: Vec::new(),
+            sent: 0,
+        }
+    }
+
+    fn k(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Ensures at least `n` parity shards exist.
+    fn extend_parity(&mut self, n: usize) {
+        while self.parity.len() < n {
+            let idx = self.parity.len();
+            self.parity.push(self.code.parity_shard(&self.shards, idx));
+        }
+    }
+}
+
+/// Result of an FEC delivery.
+#[derive(Debug, Clone)]
+pub struct FecOutcome {
+    /// Aggregate totals. `keys_transmitted` counts payload-equivalent
+    /// keys: every transmitted shard (payload or parity) is one packet
+    /// of `packet.capacity` keys' worth of bandwidth.
+    pub report: DeliveryReport,
+    /// Shards transmitted per block over the whole delivery.
+    pub shards_per_block: Vec<usize>,
+}
+
+/// Delivers `message` with proactive FEC.
+///
+/// # Panics
+///
+/// Panics if `config.proactivity < 1` or `block_packets == 0`.
+pub fn deliver<R: Rng>(
+    message: &RekeyMessage,
+    interest: &InterestMap,
+    population: &Population,
+    config: &FecConfig,
+    rng: &mut R,
+) -> FecOutcome {
+    assert!(config.proactivity >= 1.0, "proactivity must be >= 1");
+    assert!(config.block_packets >= 1, "need at least one packet per block");
+
+    // Pack payload: breadth-first (top keys first), then group into
+    // blocks.
+    let order: Vec<usize> = {
+        let mut idx: Vec<usize> = (0..message.entries.len()).collect();
+        idx.sort_by_key(|&i| (message.entries[i].target_depth, message.entries[i].under.0));
+        idx
+    };
+    let payload = pack(&order, config.packet.capacity, 0);
+    let mut blocks: Vec<Block> = payload
+        .chunks(config.block_packets)
+        .map(|chunk| Block::new(chunk.to_vec(), message))
+        .collect();
+
+    // Which blocks each receiver needs: any block containing one of
+    // its entries.
+    let mut entry_block: BTreeMap<usize, usize> = BTreeMap::new();
+    for (b, block) in blocks.iter().enumerate() {
+        for p in &block.packets {
+            for &e in &p.entries {
+                entry_block.insert(e, b);
+            }
+        }
+    }
+    // Per receiver, per needed block: shards received so far.
+    let mut pending: BTreeMap<MemberId, BTreeMap<usize, BTreeSet<usize>>> = BTreeMap::new();
+    for (&member, set) in interest {
+        let blocks_needed: BTreeSet<usize> =
+            set.iter().map(|e| entry_block[e]).collect();
+        if !blocks_needed.is_empty() {
+            pending.insert(
+                member,
+                blocks_needed.into_iter().map(|b| (b, BTreeSet::new())).collect(),
+            );
+        }
+    }
+
+    let mut report = DeliveryReport::default();
+    let mut shards_per_block = vec![0usize; blocks.len()];
+
+    // Round 1 sends payload + proactive parity for every block;
+    // subsequent rounds send the max NACKed deficit in fresh parity.
+    let mut to_send: Vec<(usize, usize)> = Vec::new(); // (block, count)
+    for (b, block) in blocks.iter().enumerate() {
+        let k = block.k();
+        let total = ((config.proactivity * k as f64).ceil() as usize).max(k);
+        to_send.push((b, total));
+    }
+
+    while !pending.is_empty() && report.rounds < config.max_rounds {
+        report.rounds += 1;
+
+        // Materialize the shard indices for this round.
+        let mut round_shards: Vec<(usize, usize)> = Vec::new(); // (block, shard idx)
+        for &(b, count) in &to_send {
+            let block = &mut blocks[b];
+            let first = block.sent;
+            let last = first + count;
+            let parity_needed = last.saturating_sub(block.k());
+            block.extend_parity(parity_needed);
+            for s in first..last {
+                round_shards.push((b, s));
+            }
+            block.sent = last;
+            shards_per_block[b] += count;
+        }
+        report.packets += round_shards.len();
+        report.keys_transmitted += round_shards.len() * config.packet.capacity;
+
+        // Delivery simulation.
+        let members: Vec<MemberId> = pending.keys().copied().collect();
+        for member in members {
+            let needs = pending.get_mut(&member).expect("member listed");
+            for &(b, s) in &round_shards {
+                if let Some(received) = needs.get_mut(&b) {
+                    if population.delivered(member, rng) {
+                        received.insert(s);
+                    }
+                }
+            }
+            // A block is complete once k shards arrived.
+            let complete: Vec<usize> = needs
+                .iter()
+                .filter(|(&b, received)| received.len() >= blocks[b].k())
+                .map(|(&b, _)| b)
+                .collect();
+            for b in complete {
+                if config.verify_reconstruction {
+                    let block = &blocks[b];
+                    let received = &needs[&b];
+                    let n = block.k() + block.code.parity_shards();
+                    let mut shards: Vec<Option<Vec<u8>>> = vec![None; n];
+                    for &s in received.iter() {
+                        shards[s] = Some(if s < block.k() {
+                            block.shards[s].clone()
+                        } else {
+                            block.parity[s - block.k()].clone()
+                        });
+                    }
+                    let decoded = block
+                        .code
+                        .reconstruct(&shards)
+                        .expect("k shards must reconstruct");
+                    assert_eq!(decoded, block.shards, "RS reconstruction mismatch");
+                }
+                needs.remove(&b);
+            }
+            if needs.is_empty() {
+                pending.remove(&member);
+            }
+        }
+
+        // Collect NACK deficits for the next round.
+        let mut deficit: BTreeMap<usize, usize> = BTreeMap::new();
+        for needs in pending.values() {
+            for (&b, received) in needs {
+                let d = blocks[b].k().saturating_sub(received.len());
+                let e = deficit.entry(b).or_insert(0);
+                *e = (*e).max(d.max(1));
+            }
+        }
+        to_send = deficit.into_iter().collect();
+    }
+
+    report.complete = pending.is_empty();
+    FecOutcome {
+        report,
+        shards_per_block,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interest::interest_map;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rekey_crypto::Key;
+    use rekey_keytree::server::LkhServer;
+
+    fn setup(n: u64, leavers: &[u64]) -> (LkhServer, RekeyMessage, Vec<MemberId>) {
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut server = LkhServer::new(4, 0);
+        let joins: Vec<(MemberId, Key)> = (0..n)
+            .map(|i| (MemberId(i), Key::generate(&mut rng)))
+            .collect();
+        server.apply_batch(&joins, &[], &mut rng);
+        let leaving: Vec<MemberId> = leavers.iter().map(|&i| MemberId(i)).collect();
+        let outcome = server.apply_batch(&[], &leaving, &mut rng);
+        let members: Vec<MemberId> = (0..n)
+            .filter(|i| !leavers.contains(i))
+            .map(MemberId)
+            .collect();
+        (server, outcome.message, members)
+    }
+
+    fn cfg_verified() -> FecConfig {
+        FecConfig {
+            verify_reconstruction: true,
+            ..FecConfig::default()
+        }
+    }
+
+    #[test]
+    fn lossless_needs_only_round_one() {
+        let (server, message, members) = setup(128, &[5, 80]);
+        let interest = interest_map(&message, |n| server.members_under(n));
+        let pop = Population::homogeneous(&members, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = deliver(&message, &interest, &pop, &cfg_verified(), &mut rng);
+        assert!(outcome.report.complete);
+        assert_eq!(outcome.report.rounds, 1);
+    }
+
+    #[test]
+    fn lossy_delivery_reconstructs_blocks() {
+        let (server, message, members) = setup(256, &[3, 99, 180, 201]);
+        let interest = interest_map(&message, |n| server.members_under(n));
+        let mut rng = StdRng::seed_from_u64(2);
+        let pop = Population::two_point(&members, 0.3, 0.2, 0.02, &mut rng);
+        let outcome = deliver(&message, &interest, &pop, &cfg_verified(), &mut rng);
+        assert!(outcome.report.complete, "delivery incomplete: {:?}", outcome.report);
+    }
+
+    #[test]
+    fn proactivity_reduces_rounds() {
+        let (server, message, members) = setup(256, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let interest = interest_map(&message, |n| server.members_under(n));
+        let pop = Population::homogeneous(&members, 0.1);
+
+        let mut rounds_lean = 0usize;
+        let mut rounds_rich = 0usize;
+        for seed in 0..8u64 {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let lean = deliver(
+                &message,
+                &interest,
+                &pop,
+                &FecConfig {
+                    proactivity: 1.0,
+                    ..FecConfig::default()
+                },
+                &mut rng,
+            );
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let rich = deliver(
+                &message,
+                &interest,
+                &pop,
+                &FecConfig {
+                    proactivity: 1.6,
+                    ..FecConfig::default()
+                },
+                &mut rng,
+            );
+            rounds_lean += lean.report.rounds;
+            rounds_rich += rich.report.rounds;
+        }
+        assert!(
+            rounds_rich <= rounds_lean,
+            "more parity should not increase rounds: {rounds_rich} vs {rounds_lean}"
+        );
+    }
+
+    #[test]
+    fn high_loss_tail_inflates_cost() {
+        // The §4 motivation, observed on the executable protocol.
+        let (server, message, members) = setup(256, &[10, 20]);
+        let interest = interest_map(&message, |n| server.members_under(n));
+        let mut pure = 0usize;
+        let mut mixed = 0usize;
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pop = Population::homogeneous(&members, 0.02);
+            pure += deliver(&message, &interest, &pop, &FecConfig::default(), &mut rng)
+                .report
+                .packets;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pop = Population::two_point(&members, 0.1, 0.25, 0.02, &mut rng);
+            mixed += deliver(&message, &interest, &pop, &FecConfig::default(), &mut rng)
+                .report
+                .packets;
+        }
+        assert!(
+            mixed > pure,
+            "mixed population should cost more: {mixed} vs {pure}"
+        );
+    }
+
+    #[test]
+    fn round_budget_reports_incomplete() {
+        let (server, message, members) = setup(64, &[0]);
+        let interest = interest_map(&message, |n| server.members_under(n));
+        let pop = Population::homogeneous(&members, 0.6);
+        let cfg = FecConfig {
+            max_rounds: 1,
+            proactivity: 1.0,
+            ..FecConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let outcome = deliver(&message, &interest, &pop, &cfg, &mut rng);
+        assert!(!outcome.report.complete);
+    }
+}

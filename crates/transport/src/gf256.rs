@@ -1,0 +1,204 @@
+//! Arithmetic in GF(2⁸) with the reduction polynomial
+//! `x⁸ + x⁴ + x³ + x² + 1` (0x11d, the one conventionally used for
+//! Reed–Solomon codes) and primitive element 2.
+//!
+//! Substrate for the Reed–Solomon erasure codes used by the
+//! proactive-FEC rekey transport ([`crate::rs`]).
+
+/// The reduction polynomial (without the x⁸ term).
+const POLY: u16 = 0x11d;
+
+/// Log/antilog tables for fast multiplication.
+#[derive(Debug)]
+struct Tables {
+    log: [u8; 256],
+    exp: [u8; 512],
+}
+
+fn tables() -> &'static Tables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut log = [0u8; 256];
+        let mut exp = [0u8; 512];
+        let mut x: u16 = 1;
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..255 {
+            exp[i] = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= POLY;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Tables { log, exp }
+    })
+}
+
+/// Addition in GF(256) (XOR).
+#[inline]
+pub fn add(a: u8, b: u8) -> u8 {
+    a ^ b
+}
+
+/// Multiplication in GF(256).
+#[inline]
+pub fn mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let t = tables();
+    t.exp[t.log[a as usize] as usize + t.log[b as usize] as usize]
+}
+
+/// Multiplicative inverse.
+///
+/// # Panics
+///
+/// Panics on `a == 0` (zero has no inverse).
+#[inline]
+pub fn inv(a: u8) -> u8 {
+    assert_ne!(a, 0, "zero has no inverse in GF(256)");
+    let t = tables();
+    t.exp[255 - t.log[a as usize] as usize]
+}
+
+/// Division: `a / b`.
+///
+/// # Panics
+///
+/// Panics on division by zero.
+#[inline]
+pub fn div(a: u8, b: u8) -> u8 {
+    mul(a, inv(b))
+}
+
+/// Exponentiation of the generator: `2^e`.
+#[inline]
+pub fn exp2(e: usize) -> u8 {
+    tables().exp[e % 255]
+}
+
+/// `dst[i] ^= c * src[i]` — the inner loop of RS encoding/decoding.
+pub fn mul_acc(dst: &mut [u8], src: &[u8], c: u8) {
+    debug_assert_eq!(dst.len(), src.len());
+    if c == 0 {
+        return;
+    }
+    if c == 1 {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d ^= s;
+        }
+        return;
+    }
+    let t = tables();
+    let log_c = t.log[c as usize] as usize;
+    for (d, s) in dst.iter_mut().zip(src) {
+        if *s != 0 {
+            *d ^= t.exp[log_c + t.log[*s as usize] as usize];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_identity_and_zero() {
+        for a in 0..=255u8 {
+            assert_eq!(mul(a, 1), a);
+            assert_eq!(mul(a, 0), 0);
+            assert_eq!(mul(0, a), 0);
+        }
+    }
+
+    #[test]
+    fn mul_commutative_and_associative() {
+        for &(a, b, c) in &[(3u8, 7u8, 11u8), (0x53, 0xca, 0x02), (255, 254, 253)] {
+            assert_eq!(mul(a, b), mul(b, a));
+            assert_eq!(mul(mul(a, b), c), mul(a, mul(b, c)));
+        }
+    }
+
+    #[test]
+    fn distributive_over_add() {
+        for a in [1u8, 2, 87, 255] {
+            for b in [3u8, 91, 200] {
+                for c in [5u8, 127] {
+                    assert_eq!(mul(a, add(b, c)), add(mul(a, b), mul(a, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(mul(a, inv(a)), 1, "a = {a}");
+        }
+    }
+
+    /// Schoolbook carry-less multiply + reduction by 0x11d.
+    fn mul_slow(a: u8, b: u8) -> u8 {
+        let (mut a, mut acc) = (a as u16, 0u16);
+        let mut b = b;
+        while b != 0 {
+            if b & 1 != 0 {
+                acc ^= a;
+            }
+            a <<= 1;
+            if a & 0x100 != 0 {
+                a ^= POLY;
+            }
+            b >>= 1;
+        }
+        acc as u8
+    }
+
+    #[test]
+    fn table_mul_matches_schoolbook() {
+        for a in (0..=255u8).step_by(7) {
+            for b in 0..=255u8 {
+                assert_eq!(mul(a, b), mul_slow(a, b), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn generator_has_full_order() {
+        // 2 generates the multiplicative group: 2^255 = 1, and no
+        // smaller positive power is 1.
+        let mut x = 1u8;
+        for i in 1..=255 {
+            x = mul(x, 2);
+            if i < 255 {
+                assert_ne!(x, 1, "generator order divides {i}");
+            }
+        }
+        assert_eq!(x, 1);
+    }
+
+    #[test]
+    fn mul_acc_matches_scalar_loop() {
+        let src: Vec<u8> = (0..=255).collect();
+        for c in [0u8, 1, 2, 77, 255] {
+            let mut fast = vec![0xAA; 256];
+            let mut slow = vec![0xAA; 256];
+            mul_acc(&mut fast, &src, c);
+            for (d, s) in slow.iter_mut().zip(&src) {
+                *d ^= mul(c, *s);
+            }
+            assert_eq!(fast, slow, "c = {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero has no inverse")]
+    fn inv_zero_panics() {
+        inv(0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Per-receiver interest sets — the sparseness property of rekey
+//! payloads (§2.2).
+//!
+//! A receiver needs exactly the entries wrapped under keys it holds,
+//! i.e. the entries whose `under` node lies on its leaf-to-root path.
+//! The key server knows the audience of every entry
+//! (`members_under(entry.under)`), so it can compute the interest map
+//! that drives NACK-based delivery.
+
+use rekey_keytree::message::RekeyMessage;
+use rekey_keytree::{MemberId, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Maps each receiver to the indices of the entries it needs.
+pub type InterestMap = BTreeMap<MemberId, BTreeSet<usize>>;
+
+/// Builds the interest map for `message` given an audience oracle
+/// (typically `|node| server.members_under(node)`).
+///
+/// Receivers with no interested entries are omitted.
+pub fn interest_map<F>(message: &RekeyMessage, mut members_under: F) -> InterestMap
+where
+    F: FnMut(NodeId) -> Vec<MemberId>,
+{
+    let mut map: InterestMap = BTreeMap::new();
+    let mut audience_cache: BTreeMap<NodeId, Vec<MemberId>> = BTreeMap::new();
+    for (idx, entry) in message.entries.iter().enumerate() {
+        let audience = audience_cache
+            .entry(entry.under)
+            .or_insert_with(|| members_under(entry.under));
+        for &m in audience.iter() {
+            map.entry(m).or_default().insert(idx);
+        }
+    }
+    map
+}
+
+/// Total interest (sum of per-receiver entry counts) — useful for
+/// verifying the sparseness property in tests.
+pub fn total_interest(map: &InterestMap) -> usize {
+    map.values().map(BTreeSet::len).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rekey_crypto::Key;
+    use rekey_keytree::server::LkhServer;
+
+    #[test]
+    fn interest_covers_survivors_only() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut server = LkhServer::new(4, 0);
+        let joins: Vec<(MemberId, Key)> = (0..64)
+            .map(|i| (MemberId(i), Key::generate(&mut rng)))
+            .collect();
+        server.apply_batch(&joins, &[], &mut rng);
+        let outcome = server.apply_batch(&[], &[MemberId(5)], &mut rng);
+
+        let map = interest_map(&outcome.message, |node| server.members_under(node));
+        // The departed member needs nothing.
+        assert!(!map.contains_key(&MemberId(5)));
+        // Every survivor needs at least the root update.
+        for i in 0..64u64 {
+            if i == 5 {
+                continue;
+            }
+            assert!(
+                map.get(&MemberId(i)).is_some_and(|s| !s.is_empty()),
+                "member {i} has no interest"
+            );
+        }
+    }
+
+    #[test]
+    fn sparseness_is_logarithmic() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut server = LkhServer::new(4, 0);
+        let joins: Vec<(MemberId, Key)> = (0..256)
+            .map(|i| (MemberId(i), Key::generate(&mut rng)))
+            .collect();
+        server.apply_batch(&joins, &[], &mut rng);
+        let outcome = server.apply_batch(&[], &[MemberId(9)], &mut rng);
+        let map = interest_map(&outcome.message, |node| server.members_under(node));
+        // A single departure updates one path: each member needs at
+        // most ~h = log4(256) = 4 entries.
+        for (m, set) in &map {
+            assert!(set.len() <= 6, "member {m} needs {} entries", set.len());
+        }
+        // But the total message has ~d·h entries, all needed by someone.
+        let needed: BTreeSet<usize> = map.values().flatten().copied().collect();
+        assert_eq!(needed.len(), outcome.message.entries.len());
+    }
+}

@@ -1,0 +1,186 @@
+//! Receiver populations with heterogeneous packet-loss rates.
+//!
+//! Models the loss heterogeneity observed for Internet multicast
+//! \[Handley97\] that motivates §4 of the paper: a fraction of
+//! receivers see high loss while the rest see low loss. Loss events
+//! are independent Bernoulli trials per receiver and packet, matching
+//! the analytic model in Appendix B.
+
+use rand::Rng;
+use rekey_keytree::MemberId;
+use std::collections::BTreeMap;
+
+/// Per-receiver loss probabilities.
+#[derive(Debug, Clone, Default)]
+pub struct Population {
+    losses: BTreeMap<MemberId, f64>,
+}
+
+impl Population {
+    /// Every receiver loses packets with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn homogeneous(members: &[MemberId], p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "loss probability out of range");
+        Population {
+            losses: members.iter().map(|&m| (m, p)).collect(),
+        }
+    }
+
+    /// A two-point population (§4.3): a fraction `alpha` of receivers
+    /// (chosen uniformly at random) lose at `p_high`, the rest at
+    /// `p_low`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range probabilities or `alpha`.
+    pub fn two_point<R: Rng>(
+        members: &[MemberId],
+        alpha: f64,
+        p_high: f64,
+        p_low: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha out of range");
+        assert!((0.0..1.0).contains(&p_high) && (0.0..1.0).contains(&p_low));
+        let mut idx: Vec<usize> = (0..members.len()).collect();
+        // Fisher–Yates partial shuffle to pick the high-loss subset.
+        let n_high = (alpha * members.len() as f64).round() as usize;
+        for i in 0..n_high.min(members.len().saturating_sub(1)) {
+            let j = rng.gen_range(i..members.len());
+            idx.swap(i, j);
+        }
+        let mut losses = BTreeMap::new();
+        for (pos, &i) in idx.iter().enumerate() {
+            let p = if pos < n_high { p_high } else { p_low };
+            losses.insert(members[i], p);
+        }
+        Population { losses }
+    }
+
+    /// Builds a population from explicit assignments.
+    pub fn from_map(losses: BTreeMap<MemberId, f64>) -> Self {
+        for &p in losses.values() {
+            assert!((0.0..1.0).contains(&p), "loss probability out of range");
+        }
+        Population { losses }
+    }
+
+    /// Loss probability of `member` (0 if unknown).
+    pub fn loss_of(&self, member: MemberId) -> f64 {
+        self.losses.get(&member).copied().unwrap_or(0.0)
+    }
+
+    /// Sets/overrides one member's loss rate.
+    pub fn set(&mut self, member: MemberId, p: f64) {
+        assert!((0.0..1.0).contains(&p), "loss probability out of range");
+        self.losses.insert(member, p);
+    }
+
+    /// Removes a member from the population.
+    pub fn remove(&mut self, member: MemberId) {
+        self.losses.remove(&member);
+    }
+
+    /// Iterates over `(member, loss)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (MemberId, f64)> + '_ {
+        self.losses.iter().map(|(&m, &p)| (m, p))
+    }
+
+    /// Number of receivers.
+    pub fn len(&self) -> usize {
+        self.losses.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.losses.is_empty()
+    }
+
+    /// Samples one delivery attempt to `member`: `true` if the packet
+    /// arrives.
+    pub fn delivered<R: Rng>(&self, member: MemberId, rng: &mut R) -> bool {
+        rng.gen::<f64>() >= self.loss_of(member)
+    }
+
+    /// Mean loss rate across the population.
+    pub fn mean_loss(&self) -> f64 {
+        if self.losses.is_empty() {
+            return 0.0;
+        }
+        self.losses.values().sum::<f64>() / self.losses.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn members(n: u64) -> Vec<MemberId> {
+        (0..n).map(MemberId).collect()
+    }
+
+    #[test]
+    fn homogeneous_assigns_everyone() {
+        let pop = Population::homogeneous(&members(10), 0.05);
+        assert_eq!(pop.len(), 10);
+        for (_, p) in pop.iter() {
+            assert_eq!(p, 0.05);
+        }
+    }
+
+    #[test]
+    fn two_point_splits_population() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pop = Population::two_point(&members(1000), 0.2, 0.2, 0.02, &mut rng);
+        let high = pop.iter().filter(|&(_, p)| p == 0.2).count();
+        assert_eq!(high, 200);
+        assert_eq!(pop.len(), 1000);
+    }
+
+    #[test]
+    fn two_point_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let all_low = Population::two_point(&members(50), 0.0, 0.2, 0.02, &mut rng);
+        assert!(all_low.iter().all(|(_, p)| p == 0.02));
+        let all_high = Population::two_point(&members(50), 1.0, 0.2, 0.02, &mut rng);
+        assert!(all_high.iter().all(|(_, p)| p == 0.2));
+    }
+
+    #[test]
+    fn delivery_rate_matches_loss() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pop = Population::homogeneous(&members(1), 0.3);
+        let trials = 20_000;
+        let delivered = (0..trials)
+            .filter(|_| pop.delivered(MemberId(0), &mut rng))
+            .count();
+        let rate = delivered as f64 / trials as f64;
+        assert!((rate - 0.7).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn unknown_member_never_loses() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pop = Population::default();
+        assert!(pop.delivered(MemberId(42), &mut rng));
+        assert_eq!(pop.loss_of(MemberId(42)), 0.0);
+    }
+
+    #[test]
+    fn mean_loss() {
+        let mut pop = Population::homogeneous(&members(2), 0.1);
+        pop.set(MemberId(1), 0.3);
+        assert!((pop.mean_loss() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability out of range")]
+    fn invalid_loss_rejected() {
+        Population::homogeneous(&members(1), 1.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! The naive multi-send baseline \[MSEC\] (§2.2): every round the whole
+//! rekey message is replicated a fixed number of times, ignoring both
+//! the sparseness property and per-key value.
+//!
+//! Included as the weakest baseline of the paper's protocol
+//! comparison; WKA-BKR and proactive FEC should both beat it whenever
+//! there is loss.
+
+use crate::interest::InterestMap;
+use crate::loss::Population;
+use crate::packet::{pack, Packet, PacketConfig};
+use crate::DeliveryReport;
+use rand::Rng;
+use rekey_keytree::message::RekeyMessage;
+use rekey_keytree::MemberId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration of a multi-send delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiSendConfig {
+    /// Packet capacity in entries.
+    pub packet: PacketConfig,
+    /// Copies of the full message transmitted per round.
+    pub replication: usize,
+    /// Round budget.
+    pub max_rounds: usize,
+}
+
+impl Default for MultiSendConfig {
+    fn default() -> Self {
+        MultiSendConfig {
+            packet: PacketConfig::default(),
+            replication: 2,
+            max_rounds: 64,
+        }
+    }
+}
+
+/// Delivers `message` by repeatedly multicasting the entire payload.
+pub fn deliver<R: Rng>(
+    message: &RekeyMessage,
+    interest: &InterestMap,
+    population: &Population,
+    config: &MultiSendConfig,
+    rng: &mut R,
+) -> DeliveryReport {
+    assert!(config.replication >= 1, "replication must be at least 1");
+    let mut pending: BTreeMap<MemberId, BTreeSet<usize>> = interest
+        .iter()
+        .filter(|(_, s)| !s.is_empty())
+        .map(|(&m, s)| (m, s.clone()))
+        .collect();
+
+    let all: Vec<usize> = (0..message.entries.len()).collect();
+    let packets: Vec<Packet> = pack(&all, config.packet.capacity, 0);
+
+    let mut report = DeliveryReport::default();
+    while !pending.is_empty() && report.rounds < config.max_rounds {
+        report.rounds += 1;
+        for _copy in 0..config.replication {
+            report.packets += packets.len();
+            report.keys_transmitted += message.entries.len();
+            let members: Vec<MemberId> = pending.keys().copied().collect();
+            for member in members {
+                let mut received: BTreeSet<usize> = BTreeSet::new();
+                for packet in &packets {
+                    if population.delivered(member, rng) {
+                        received.extend(&packet.entries);
+                    }
+                }
+                let set = pending.get_mut(&member).expect("member listed");
+                for idx in received {
+                    set.remove(&idx);
+                }
+                if set.is_empty() {
+                    pending.remove(&member);
+                }
+            }
+            if pending.is_empty() {
+                break;
+            }
+        }
+    }
+    report.complete = pending.is_empty();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interest::interest_map;
+    use crate::wka_bkr;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rekey_crypto::Key;
+    use rekey_keytree::server::LkhServer;
+
+    fn setup(n: u64, leavers: &[u64]) -> (LkhServer, RekeyMessage, Vec<MemberId>) {
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut server = LkhServer::new(4, 0);
+        let joins: Vec<(MemberId, Key)> = (0..n)
+            .map(|i| (MemberId(i), Key::generate(&mut rng)))
+            .collect();
+        server.apply_batch(&joins, &[], &mut rng);
+        let leaving: Vec<MemberId> = leavers.iter().map(|&i| MemberId(i)).collect();
+        let outcome = server.apply_batch(&[], &leaving, &mut rng);
+        let members: Vec<MemberId> = (0..n)
+            .filter(|i| !leavers.contains(i))
+            .map(MemberId)
+            .collect();
+        (server, outcome.message, members)
+    }
+
+    #[test]
+    fn completes_under_loss() {
+        let (server, message, members) = setup(128, &[4, 90]);
+        let interest = interest_map(&message, |n| server.members_under(n));
+        let pop = Population::homogeneous(&members, 0.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let report = deliver(&message, &interest, &pop, &MultiSendConfig::default(), &mut rng);
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn wka_bkr_beats_multisend_under_loss() {
+        // The paper (§2.2.1 / [SZJ02]): WKA-BKR has lower bandwidth
+        // overhead than multi-send in most loss scenarios.
+        let (server, message, members) = setup(256, &[3, 77, 130, 201]);
+        let interest = interest_map(&message, |n| server.members_under(n));
+        let mut multi = 0usize;
+        let mut wka = 0usize;
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pop = Population::two_point(&members, 0.2, 0.2, 0.02, &mut rng);
+            multi += deliver(&message, &interest, &pop, &MultiSendConfig::default(), &mut rng)
+                .keys_transmitted;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pop = Population::two_point(&members, 0.2, 0.2, 0.02, &mut rng);
+            wka += wka_bkr::deliver(
+                &message,
+                &interest,
+                &pop,
+                &wka_bkr::WkaBkrConfig::default(),
+                &mut rng,
+            )
+            .report
+            .keys_transmitted;
+        }
+        assert!(
+            wka < multi,
+            "WKA-BKR ({wka}) should beat multi-send ({multi})"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "replication")]
+    fn zero_replication_rejected() {
+        let (server, message, members) = setup(8, &[0]);
+        let interest = interest_map(&message, |n| server.members_under(n));
+        let pop = Population::homogeneous(&members, 0.0);
+        let cfg = MultiSendConfig {
+            replication: 0,
+            ..MultiSendConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        deliver(&message, &interest, &pop, &cfg, &mut rng);
+    }
+}

@@ -1,0 +1,209 @@
+//! Packetization and wire encoding of rekey messages.
+//!
+//! One [`Packet`] carries up to [`PacketConfig::capacity`] encrypted
+//! keys. The default capacity models a 1400-byte UDP payload holding
+//! ~100-byte serialized entries. Entries are referenced by their index
+//! in the originating [`RekeyMessage`] so the simulation layer can
+//! track interest and delivery cheaply; [`encode_entry`] /
+//! [`decode_entry`] provide the actual byte format used when real
+//! payloads are needed (the FEC transport encodes packets to bytes so
+//! Reed–Solomon operates on genuine data).
+
+use bytes::{Buf, BufMut};
+use rekey_crypto::keywrap::WrappedKey;
+use rekey_keytree::message::{RekeyEntry, RekeyMessage};
+use rekey_keytree::NodeId;
+
+/// Serialized entry size: 4 fixed u64s + flags + recipient +
+/// audience + depth + wrapped key.
+pub const ENTRY_WIRE_LEN: usize =
+    8 + 8 + 8 + 8 + 1 + 1 + 8 + 4 + 4 + rekey_crypto::keywrap::WRAPPED_LEN;
+
+/// Packetization parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketConfig {
+    /// Maximum entries per packet.
+    pub capacity: usize,
+}
+
+impl Default for PacketConfig {
+    fn default() -> Self {
+        // 1400-byte payload / ~100-byte entries.
+        PacketConfig { capacity: 14 }
+    }
+}
+
+/// A multicast packet: a set of entry indices into the rekey message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Sequence number unique within one delivery.
+    pub seq: u64,
+    /// Indices into [`RekeyMessage::entries`].
+    pub entries: Vec<usize>,
+}
+
+impl Packet {
+    /// Number of encrypted keys this packet carries.
+    pub fn key_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Serializes the packet's entries to bytes (length-prefixed).
+    pub fn to_bytes(&self, message: &RekeyMessage) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(4 + self.entries.len() * ENTRY_WIRE_LEN);
+        buf.put_u32(self.entries.len() as u32);
+        for &idx in &self.entries {
+            encode_entry(&message.entries[idx], &mut buf);
+        }
+        buf
+    }
+}
+
+/// Serializes one rekey entry into `buf`.
+pub fn encode_entry(entry: &RekeyEntry, buf: &mut Vec<u8>) {
+    buf.put_u64(entry.target.0);
+    buf.put_u64(entry.target_version);
+    buf.put_u64(entry.under.0);
+    buf.put_u64(entry.under_version);
+    buf.put_u8(u8::from(entry.under_is_leaf));
+    buf.put_u8(u8::from(entry.recipient.is_some()));
+    buf.put_u64(entry.recipient.map(|m| m.0).unwrap_or(0));
+    buf.put_u32(entry.audience);
+    buf.put_u32(entry.target_depth);
+    buf.put_slice(&entry.wrapped.to_bytes());
+}
+
+/// Deserializes one rekey entry from `buf`.
+///
+/// Returns `None` on truncated or malformed input.
+pub fn decode_entry(buf: &mut &[u8]) -> Option<RekeyEntry> {
+    if buf.remaining() < ENTRY_WIRE_LEN {
+        return None;
+    }
+    let target = NodeId(buf.get_u64());
+    let target_version = buf.get_u64();
+    let under = NodeId(buf.get_u64());
+    let under_version = buf.get_u64();
+    let under_is_leaf = buf.get_u8() != 0;
+    let has_recipient = buf.get_u8() != 0;
+    let recipient_raw = buf.get_u64();
+    let recipient = has_recipient.then_some(rekey_keytree::MemberId(recipient_raw));
+    let audience = buf.get_u32();
+    let target_depth = buf.get_u32();
+    let mut wrapped_bytes = [0u8; rekey_crypto::keywrap::WRAPPED_LEN];
+    buf.copy_to_slice(&mut wrapped_bytes);
+    let wrapped = WrappedKey::from_bytes(&wrapped_bytes).ok()?;
+    Some(RekeyEntry {
+        target,
+        target_version,
+        under,
+        under_version,
+        under_is_leaf,
+        recipient,
+        audience,
+        target_depth,
+        wrapped,
+    })
+}
+
+/// Packs entry indices into packets of at most `capacity` entries, in
+/// the given order, assigning sequence numbers starting at `first_seq`.
+pub fn pack(indices: &[usize], capacity: usize, first_seq: u64) -> Vec<Packet> {
+    assert!(capacity >= 1, "packet capacity must be at least 1");
+    indices
+        .chunks(capacity)
+        .enumerate()
+        .map(|(i, chunk)| Packet {
+            seq: first_seq + i as u64,
+            entries: chunk.to_vec(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rekey_crypto::Key;
+    use rekey_keytree::server::LkhServer;
+    use rekey_keytree::MemberId;
+
+    fn sample_message() -> RekeyMessage {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut server = LkhServer::new(4, 0);
+        let joins: Vec<(MemberId, Key)> = (0..32)
+            .map(|i| (MemberId(i), Key::generate(&mut rng)))
+            .collect();
+        server.apply_batch(&joins, &[], &mut rng);
+        server
+            .apply_batch(&[], &[MemberId(3), MemberId(17)], &mut rng)
+            .message
+    }
+
+    #[test]
+    fn entry_wire_roundtrip() {
+        let msg = sample_message();
+        for entry in &msg.entries {
+            let mut buf = Vec::new();
+            encode_entry(entry, &mut buf);
+            assert_eq!(buf.len(), ENTRY_WIRE_LEN);
+            let mut slice = buf.as_slice();
+            let decoded = decode_entry(&mut slice).unwrap();
+            assert_eq!(&decoded, entry);
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let msg = sample_message();
+        let mut buf = Vec::new();
+        encode_entry(&msg.entries[0], &mut buf);
+        let mut slice = &buf[..ENTRY_WIRE_LEN - 1];
+        assert!(decode_entry(&mut slice).is_none());
+    }
+
+    #[test]
+    fn wire_size_matches_message_estimate() {
+        // The keytree crate's byte_len estimate must equal the actual
+        // encoded size.
+        let msg = sample_message();
+        let mut buf = Vec::new();
+        encode_entry(&msg.entries[0], &mut buf);
+        assert_eq!(buf.len(), msg.entries[0].byte_len());
+        assert_eq!(ENTRY_WIRE_LEN, msg.entries[0].byte_len());
+    }
+
+    #[test]
+    fn pack_respects_capacity() {
+        let indices: Vec<usize> = (0..33).collect();
+        let packets = pack(&indices, 14, 100);
+        assert_eq!(packets.len(), 3);
+        assert_eq!(packets[0].entries.len(), 14);
+        assert_eq!(packets[2].entries.len(), 5);
+        assert_eq!(packets[0].seq, 100);
+        assert_eq!(packets[2].seq, 102);
+    }
+
+    #[test]
+    fn packet_bytes_roundtrip_all_entries() {
+        let msg = sample_message();
+        let indices: Vec<usize> = (0..msg.entries.len()).collect();
+        let packets = pack(&indices, 5, 0);
+        for p in &packets {
+            let bytes = p.to_bytes(&msg);
+            let mut slice = &bytes[4..];
+            for &idx in &p.entries {
+                let decoded = decode_entry(&mut slice).unwrap();
+                assert_eq!(&decoded, &msg.entries[idx]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        pack(&[0, 1], 0, 0);
+    }
+}

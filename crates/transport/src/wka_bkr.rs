@@ -1,0 +1,377 @@
+//! The WKA-BKR reliable rekey transport protocol \[SZJ02\] (§2.2.1).
+//!
+//! **Weighted key assignment (WKA):** before the first multicast
+//! round, every entry gets a weight — the expected number of
+//! transmissions needed for its whole audience to receive it
+//! (Appendix B, equation (14), evaluated on the *actual* audience).
+//! Entries are replicated `weight` times, replicas are striped across
+//! distinct packets, and packets are multicast to the group.
+//!
+//! **Batched key retransmission (BKR):** after each round the server
+//! collects NACKs, computes the set of *keys* (not packets) still
+//! needed, re-weights them against their remaining audiences, packs
+//! fresh packets, and multicasts again — exploiting the sparseness of
+//! the rekey payload.
+
+use crate::interest::InterestMap;
+use crate::loss::Population;
+use crate::packet::{pack, Packet, PacketConfig};
+use crate::DeliveryReport;
+use rand::Rng;
+use rekey_keytree::message::RekeyMessage;
+use rekey_keytree::MemberId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How entries are ordered before striping into packets (§2.2.1
+/// mentions both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Packing {
+    /// Top-of-tree keys first (most valuable first).
+    #[default]
+    BreadthFirst,
+    /// Keys clustered by the subtree that needs them.
+    DepthFirst,
+}
+
+/// Configuration of a WKA-BKR delivery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WkaBkrConfig {
+    /// Packet capacity in entries.
+    pub packet: PacketConfig,
+    /// Entry ordering before packing.
+    pub packing: Packing,
+    /// Cap weights to avoid pathological replication.
+    pub max_weight: usize,
+    /// Round budget; delivery reports `complete = false` if exceeded.
+    pub max_rounds: usize,
+}
+
+impl Default for WkaBkrConfig {
+    fn default() -> Self {
+        WkaBkrConfig {
+            packet: PacketConfig::default(),
+            packing: Packing::BreadthFirst,
+            max_weight: 8,
+            max_rounds: 64,
+        }
+    }
+}
+
+/// Expected transmissions for an audience with the given loss rates —
+/// equation (14) evaluated on an explicit audience, grouped by
+/// distinct loss value for efficiency.
+pub fn expected_transmissions(losses: &[f64]) -> f64 {
+    if losses.is_empty() {
+        return 0.0;
+    }
+    let mut groups: BTreeMap<u64, (f64, f64)> = BTreeMap::new();
+    for &p in losses {
+        let e = groups.entry(p.to_bits()).or_insert((p, 0.0));
+        e.1 += 1.0;
+    }
+    let mut total = 0.0;
+    for m in 1..10_000u32 {
+        let mut all = 1.0f64;
+        for &(p, count) in groups.values() {
+            let p_pow = p.powi(m as i32 - 1);
+            all *= (1.0 - p_pow).powf(count);
+        }
+        let term = 1.0 - all;
+        total += term;
+        if term < 1e-9 {
+            break;
+        }
+    }
+    total
+}
+
+/// State of one delivery in progress; exposed so callers (e.g. the
+/// loss-estimation logic of §4.2) can observe per-round NACKs.
+#[derive(Debug, Clone)]
+pub struct RoundTrace {
+    /// Packets sent this round.
+    pub packets: usize,
+    /// Keys (incl. replicas) sent this round.
+    pub keys: usize,
+    /// Receivers that still miss something after this round.
+    pub pending_receivers: usize,
+}
+
+/// Full result of a WKA-BKR delivery.
+#[derive(Debug, Clone)]
+pub struct WkaBkrOutcome {
+    /// Aggregate totals.
+    pub report: DeliveryReport,
+    /// Per-round details.
+    pub rounds: Vec<RoundTrace>,
+    /// Packets each member failed to receive, tallied over the run —
+    /// the information a member piggybacks on NACKs for the loss
+    /// estimation of §4.2.
+    pub lost_packets: BTreeMap<MemberId, (u64, u64)>,
+    /// Encrypted keys each member actually received over the run
+    /// (needed or not) — the receiver-bandwidth / inter-receiver
+    /// fairness metric of §4.4: members keep receiving every multicast
+    /// round even after they are satisfied.
+    pub received_keys: BTreeMap<MemberId, u64>,
+}
+
+/// Delivers `message` to every interested receiver over a lossy
+/// multicast channel, returning the bandwidth spent.
+pub fn deliver<R: Rng>(
+    message: &RekeyMessage,
+    interest: &InterestMap,
+    population: &Population,
+    config: &WkaBkrConfig,
+    rng: &mut R,
+) -> WkaBkrOutcome {
+    let mut pending: BTreeMap<MemberId, BTreeSet<usize>> = interest
+        .iter()
+        .filter(|(_, set)| !set.is_empty())
+        .map(|(&m, set)| (m, set.clone()))
+        .collect();
+
+    let all_members: Vec<MemberId> = interest.keys().copied().collect();
+    let mut report = DeliveryReport::default();
+    let mut rounds = Vec::new();
+    let mut lost_packets: BTreeMap<MemberId, (u64, u64)> = BTreeMap::new();
+    let mut received_keys: BTreeMap<MemberId, u64> = BTreeMap::new();
+    let mut seq = 0u64;
+
+    while !pending.is_empty() && report.rounds < config.max_rounds {
+        report.rounds += 1;
+
+        // Remaining audience per entry.
+        let mut audience: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
+        for (&member, set) in &pending {
+            let p = population.loss_of(member);
+            for &idx in set {
+                audience.entry(idx).or_default().push(p);
+            }
+        }
+
+        // WKA weights on the remaining audiences.
+        let mut weighted: Vec<(usize, usize)> = audience
+            .iter()
+            .map(|(&idx, losses)| {
+                let w = expected_transmissions(losses).round().max(1.0) as usize;
+                (idx, w.min(config.max_weight))
+            })
+            .collect();
+        match config.packing {
+            Packing::BreadthFirst => weighted.sort_by_key(|&(idx, _)| {
+                (message.entries[idx].target_depth, message.entries[idx].under.0)
+            }),
+            Packing::DepthFirst => weighted.sort_by_key(|&(idx, _)| {
+                (message.entries[idx].under.0, message.entries[idx].target_depth)
+            }),
+        }
+
+        // Stripe replicas: stripe j carries the (j+1)-th copy of every
+        // entry with weight > j, so replicas never share a packet.
+        let max_w = weighted.iter().map(|&(_, w)| w).max().unwrap_or(1);
+        let mut packets: Vec<Packet> = Vec::new();
+        for stripe in 0..max_w {
+            let stripe_entries: Vec<usize> = weighted
+                .iter()
+                .filter(|&&(_, w)| w > stripe)
+                .map(|&(idx, _)| idx)
+                .collect();
+            let stripe_packets = pack(&stripe_entries, config.packet.capacity, seq);
+            seq += stripe_packets.len() as u64;
+            packets.extend(stripe_packets);
+        }
+
+        let keys_this_round: usize = packets.iter().map(Packet::key_count).sum();
+        report.packets += packets.len();
+        report.keys_transmitted += keys_this_round;
+
+        // Simulated multicast: every group member — satisfied or not —
+        // independently receives each packet.
+        for &member in &all_members {
+            let mut received: BTreeSet<usize> = BTreeSet::new();
+            let stats = lost_packets.entry(member).or_insert((0, 0));
+            let volume = received_keys.entry(member).or_insert(0);
+            for packet in &packets {
+                stats.1 += 1;
+                if population.delivered(member, rng) {
+                    *volume += packet.entries.len() as u64;
+                    received.extend(&packet.entries);
+                } else {
+                    stats.0 += 1;
+                }
+            }
+            if let Some(set) = pending.get_mut(&member) {
+                for idx in received {
+                    set.remove(&idx);
+                }
+                if set.is_empty() {
+                    pending.remove(&member);
+                }
+            }
+        }
+
+        rounds.push(RoundTrace {
+            packets: packets.len(),
+            keys: keys_this_round,
+            pending_receivers: pending.len(),
+        });
+    }
+
+    report.complete = pending.is_empty();
+    WkaBkrOutcome {
+        report,
+        rounds,
+        lost_packets,
+        received_keys,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interest::interest_map;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rekey_crypto::Key;
+    use rekey_keytree::server::LkhServer;
+
+    fn setup(n: u64, leavers: &[u64]) -> (LkhServer, RekeyMessage, Vec<MemberId>) {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut server = LkhServer::new(4, 0);
+        let joins: Vec<(MemberId, Key)> = (0..n)
+            .map(|i| (MemberId(i), Key::generate(&mut rng)))
+            .collect();
+        server.apply_batch(&joins, &[], &mut rng);
+        let leaving: Vec<MemberId> = leavers.iter().map(|&i| MemberId(i)).collect();
+        let outcome = server.apply_batch(&[], &leaving, &mut rng);
+        let members: Vec<MemberId> = (0..n)
+            .filter(|i| !leavers.contains(i))
+            .map(MemberId)
+            .collect();
+        (server, outcome.message, members)
+    }
+
+    #[test]
+    fn lossless_delivery_takes_one_round() {
+        let (server, message, members) = setup(64, &[3]);
+        let interest = interest_map(&message, |n| server.members_under(n));
+        let pop = Population::homogeneous(&members, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = deliver(&message, &interest, &pop, &WkaBkrConfig::default(), &mut rng);
+        assert!(outcome.report.complete);
+        assert_eq!(outcome.report.rounds, 1);
+        // No loss → no replication: exactly the message's entries.
+        assert_eq!(outcome.report.keys_transmitted, message.entries.len());
+    }
+
+    #[test]
+    fn lossy_delivery_completes() {
+        let (server, message, members) = setup(256, &[1, 50, 99, 200]);
+        let interest = interest_map(&message, |n| server.members_under(n));
+        let mut rng = StdRng::seed_from_u64(2);
+        let pop = Population::two_point(&members, 0.2, 0.2, 0.02, &mut rng);
+        let outcome = deliver(&message, &interest, &pop, &WkaBkrConfig::default(), &mut rng);
+        assert!(outcome.report.complete);
+        assert!(outcome.report.rounds >= 2, "loss should force retransmission");
+        assert!(outcome.report.keys_transmitted > message.entries.len());
+    }
+
+    #[test]
+    fn retransmissions_shrink_across_rounds() {
+        let (server, message, members) = setup(256, &[0, 64, 128]);
+        let interest = interest_map(&message, |n| server.members_under(n));
+        let pop = Population::homogeneous(&members, 0.15);
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcome = deliver(&message, &interest, &pop, &WkaBkrConfig::default(), &mut rng);
+        assert!(outcome.report.complete);
+        // BKR retransmits keys, so later rounds are much smaller.
+        if outcome.rounds.len() >= 2 {
+            assert!(
+                outcome.rounds[1].keys < outcome.rounds[0].keys,
+                "round 2 ({}) not smaller than round 1 ({})",
+                outcome.rounds[1].keys,
+                outcome.rounds[0].keys
+            );
+        }
+    }
+
+    #[test]
+    fn weights_replicate_valuable_keys() {
+        // With high loss, the root entries (audience = everyone) must
+        // appear multiple times in round 1.
+        let (server, message, members) = setup(256, &[7]);
+        let interest = interest_map(&message, |n| server.members_under(n));
+        let pop = Population::homogeneous(&members, 0.2);
+        let mut rng = StdRng::seed_from_u64(4);
+        let outcome = deliver(&message, &interest, &pop, &WkaBkrConfig::default(), &mut rng);
+        assert!(
+            outcome.rounds[0].keys > message.entries.len(),
+            "round 1 sent {} keys for {} entries — no proactive replication",
+            outcome.rounds[0].keys,
+            message.entries.len()
+        );
+    }
+
+    #[test]
+    fn expected_transmissions_formula() {
+        assert_eq!(expected_transmissions(&[]), 0.0);
+        assert!((expected_transmissions(&[0.0]) - 1.0).abs() < 1e-9);
+        assert!((expected_transmissions(&[0.5]) - 2.0).abs() < 1e-6);
+        // Larger audiences need more transmissions.
+        let small = expected_transmissions(&[0.1; 4]);
+        let large = expected_transmissions(&[0.1; 400]);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn loss_stats_are_collected() {
+        let (server, message, members) = setup(64, &[2]);
+        let interest = interest_map(&message, |n| server.members_under(n));
+        let pop = Population::homogeneous(&members, 0.3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let outcome = deliver(&message, &interest, &pop, &WkaBkrConfig::default(), &mut rng);
+        // Every receiver observed some packets; loss fractions should
+        // be near 0.3 in aggregate.
+        let (lost, seen): (u64, u64) = outcome
+            .lost_packets
+            .values()
+            .fold((0, 0), |(l, s), &(dl, ds)| (l + dl, s + ds));
+        assert!(seen > 0);
+        let rate = lost as f64 / seen as f64;
+        assert!((rate - 0.3).abs() < 0.1, "observed loss {rate}");
+    }
+
+    #[test]
+    fn receiver_volume_accounts_all_rounds() {
+        let (server, message, members) = setup(128, &[3, 64]);
+        let interest = interest_map(&message, |n| server.members_under(n));
+        let pop = Population::homogeneous(&members, 0.1);
+        let mut rng = StdRng::seed_from_u64(8);
+        let outcome = deliver(&message, &interest, &pop, &WkaBkrConfig::default(), &mut rng);
+        assert!(outcome.report.complete);
+        // Every interested member received something, and aggregate
+        // receiver volume ≈ keys_transmitted × (1 - p) × members.
+        assert_eq!(outcome.received_keys.len(), interest.len());
+        let total: u64 = outcome.received_keys.values().sum();
+        let expected = outcome.report.keys_transmitted as f64 * 0.9 * interest.len() as f64;
+        let ratio = total as f64 / expected;
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "receiver volume {total} vs expected {expected:.0}"
+        );
+    }
+
+    #[test]
+    fn depth_first_packing_also_completes() {
+        let (server, message, members) = setup(128, &[9, 70]);
+        let interest = interest_map(&message, |n| server.members_under(n));
+        let pop = Population::homogeneous(&members, 0.1);
+        let cfg = WkaBkrConfig {
+            packing: Packing::DepthFirst,
+            ..WkaBkrConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        let outcome = deliver(&message, &interest, &pop, &cfg, &mut rng);
+        assert!(outcome.report.complete);
+    }
+}

@@ -1,0 +1,116 @@
+//! Cross-validation of the paper's analytic models (what the paper's
+//! figures are computed from) against the executable system (what the
+//! paper did not have).
+//!
+//! A discrete-event simulation of the real key server — actual trees,
+//! actual key wrapping, actual migrations — must land close to the
+//! closed-form steady-state costs of §3.3.1, and preserve the paper's
+//! scheme ordering.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rekey_analytic::partition::PartitionParams;
+use rekey_core::one_tree::OneTreeManager;
+use rekey_core::partition::{QtManager, TtManager};
+use rekey_core::GroupKeyManager;
+use rekey_sim::driver::{run_scheme, SimConfig};
+use rekey_sim::membership::{MembershipGenerator, MembershipParams};
+
+const N: usize = 2048;
+const SEED: u64 = 20030412;
+
+fn sim_params() -> MembershipParams {
+    MembershipParams {
+        target_size: N,
+        ..MembershipParams::paper_default()
+    }
+}
+
+fn model(k: u32) -> PartitionParams {
+    PartitionParams {
+        group_size: N as u64,
+        k,
+        ..PartitionParams::paper_default()
+    }
+}
+
+fn simulate(manager: &mut dyn GroupKeyManager) -> f64 {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut generator = MembershipGenerator::new(sim_params(), &mut rng);
+    let config = SimConfig {
+        intervals: 50,
+        warmup: 15,
+        verify_members: false,
+        oracle_hints: false,
+    };
+    run_scheme(manager, &mut generator, &config, &mut rng).mean_keys_per_interval
+}
+
+/// The simulation runs a slightly lighter workload than the model
+/// (members joining and leaving within one interval are never
+/// admitted), so we allow a modest tolerance band.
+fn assert_close(measured: f64, predicted: f64, tolerance: f64, label: &str) {
+    let ratio = measured / predicted;
+    assert!(
+        ((1.0 - tolerance)..(1.0 + tolerance)).contains(&ratio),
+        "{label}: measured {measured:.0} vs model {predicted:.0} (ratio {ratio:.3})"
+    );
+}
+
+#[test]
+fn one_keytree_cost_matches_model() {
+    let measured = simulate(&mut OneTreeManager::new(4));
+    assert_close(measured, model(10).cost_one_keytree(), 0.15, "one-keytree");
+}
+
+#[test]
+fn tt_cost_matches_model() {
+    let measured = simulate(&mut TtManager::new(4, 10));
+    assert_close(measured, model(10).cost_tt(), 0.15, "tt-scheme");
+}
+
+#[test]
+fn qt_cost_matches_model() {
+    let measured = simulate(&mut QtManager::new(4, 10));
+    assert_close(measured, model(10).cost_qt(), 0.15, "qt-scheme");
+}
+
+#[test]
+fn scheme_ordering_is_preserved() {
+    // Fig. 3 at K = 10, α = 0.8: both partition schemes beat the
+    // one-keytree scheme, on the executable system too.
+    let one = simulate(&mut OneTreeManager::new(4));
+    let tt = simulate(&mut TtManager::new(4, 10));
+    let qt = simulate(&mut QtManager::new(4, 10));
+    assert!(tt < one, "TT ({tt:.0}) should beat one-keytree ({one:.0})");
+    assert!(qt < one, "QT ({qt:.0}) should beat one-keytree ({one:.0})");
+
+    let predicted_gain = 1.0 - model(10).cost_tt() / model(10).cost_one_keytree();
+    let measured_gain = 1.0 - tt / one;
+    assert!(
+        (measured_gain - predicted_gain).abs() < 0.08,
+        "TT gain: measured {measured_gain:.3} vs model {predicted_gain:.3}"
+    );
+}
+
+#[test]
+fn join_rate_matches_queueing_model() {
+    // The generator reproduces the J of equations (1)–(5).
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let params = sim_params();
+    let mut generator = MembershipGenerator::new(params, &mut rng);
+    let expected = params.joins_per_interval();
+    let mut joins = 0usize;
+    let mut transient = 0usize;
+    let rounds = 150;
+    for _ in 0..rounds {
+        let ev = generator.next_interval(&mut rng);
+        joins += ev.joins.len();
+        transient += ev.transient;
+    }
+    let measured = (joins + transient) as f64 / rounds as f64;
+    assert!(
+        (measured / expected - 1.0).abs() < 0.1,
+        "arrival rate {measured:.1} vs model J {expected:.1}"
+    );
+}
