@@ -26,9 +26,7 @@ pub fn child_sizes(n: u64, d: u64) -> Vec<u64> {
     let parts = d.min(n);
     let base = n / parts;
     let rem = n % parts;
-    (0..parts)
-        .map(|i| base + u64::from(i < rem))
-        .collect()
+    (0..parts).map(|i| base + u64::from(i < rem)).collect()
 }
 
 /// Expected number of encrypted keys for one batched rekey of a
@@ -108,11 +106,8 @@ pub fn updated_keys(n: u64, l: f64, d: u32) -> f64 {
             return c;
         }
         let children = child_sizes(s, d);
-        let total = p_update(n, s as f64, l)
-            + children
-                .iter()
-                .map(|&c| rec(c, n, l, d, memo))
-                .sum::<f64>();
+        let total =
+            p_update(n, s as f64, l) + children.iter().map(|&c| rec(c, n, l, d, memo)).sum::<f64>();
         memo.insert(s, total);
         total
     }
@@ -143,10 +138,7 @@ mod tests {
     fn single_departure_costs_about_d_log_n() {
         // The paper: ~d · ceil(log_d N) keys per departure.
         let cost = ne(65536, 1.0, 4);
-        assert!(
-            close(cost, 32.0, 0.01),
-            "expected ≈ d·h = 32, got {cost}"
-        );
+        assert!(close(cost, 32.0, 0.01), "expected ≈ d·h = 32, got {cost}");
     }
 
     #[test]

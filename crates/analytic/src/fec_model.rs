@@ -63,9 +63,15 @@ impl Default for FecParams {
 
 impl FecParams {
     fn validate(&self) {
-        assert!(self.block_packets >= 1, "need at least one packet per block");
+        assert!(
+            self.block_packets >= 1,
+            "need at least one packet per block"
+        );
         assert!(self.proactivity >= 1.0, "proactivity factor must be >= 1");
-        assert!(self.keys_per_packet >= 1, "need at least one key per packet");
+        assert!(
+            self.keys_per_packet >= 1,
+            "need at least one key per packet"
+        );
     }
 }
 
@@ -165,7 +171,9 @@ pub fn fec_cost_packets(
         return 0.0;
     }
     let payload_packets = (total_keys / params.keys_per_packet as f64).ceil().max(1.0);
-    let blocks = (payload_packets / params.block_packets as f64).ceil().max(1.0);
+    let blocks = (payload_packets / params.block_packets as f64)
+        .ceil()
+        .max(1.0);
     let receivers_per_block = n_receivers as f64 / blocks;
 
     let k = params.block_packets;
@@ -178,7 +186,13 @@ pub fn fec_cost_packets(
         .iter()
         .filter(|(f, _)| *f > 0.0)
         .map(|&(f, p)| {
-            DeficitClass::after_first_round(f * receivers_per_block, p, sent_first, slack, k as usize)
+            DeficitClass::after_first_round(
+                f * receivers_per_block,
+                p,
+                sent_first,
+                slack,
+                k as usize,
+            )
         })
         .collect();
 
@@ -231,10 +245,7 @@ mod tests {
         let p = params();
         let pure_low = fec_cost_packets(65536, 6000.0, &LossMix::homogeneous(0.02), &p);
         let mixed = fec_cost_packets(65536, 6000.0, &LossMix::two_point(0.1, 0.2, 0.02), &p);
-        assert!(
-            mixed > pure_low * 1.1,
-            "mixed {mixed} vs pure {pure_low}"
-        );
+        assert!(mixed > pure_low * 1.1, "mixed {mixed} vs pure {pure_low}");
     }
 
     #[test]
@@ -251,7 +262,12 @@ mod tests {
             (1.0 - alpha) * keys,
             &LossMix::homogeneous(pl),
             &p,
-        ) + fec_cost_packets((alpha * n) as u64, alpha * keys, &LossMix::homogeneous(ph), &p);
+        ) + fec_cost_packets(
+            (alpha * n) as u64,
+            alpha * keys,
+            &LossMix::homogeneous(ph),
+            &p,
+        );
         let gain = 1.0 - split / mixed;
         assert!(
             (0.10..0.45).contains(&gain),
@@ -262,8 +278,14 @@ mod tests {
     #[test]
     fn empty_inputs_cost_nothing() {
         let p = params();
-        assert_eq!(fec_cost_packets(0, 100.0, &LossMix::homogeneous(0.1), &p), 0.0);
-        assert_eq!(fec_cost_packets(10, 0.0, &LossMix::homogeneous(0.1), &p), 0.0);
+        assert_eq!(
+            fec_cost_packets(0, 100.0, &LossMix::homogeneous(0.1), &p),
+            0.0
+        );
+        assert_eq!(
+            fec_cost_packets(10, 0.0, &LossMix::homogeneous(0.1), &p),
+            0.0
+        );
     }
 
     #[test]

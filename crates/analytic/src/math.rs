@@ -82,9 +82,8 @@ pub fn binomial_pmf(n: u32, k: u32, p: f64) -> f64 {
     if p >= 1.0 {
         return if k == n { 1.0 } else { 0.0 };
     }
-    let ln = ln_choose(n as f64, k as f64)
-        + (k as f64) * p.ln()
-        + ((n - k) as f64) * (1.0 - p).ln();
+    let ln =
+        ln_choose(n as f64, k as f64) + (k as f64) * p.ln() + ((n - k) as f64) * (1.0 - p).ln();
     ln.exp()
 }
 

@@ -63,10 +63,7 @@ impl PartitionParams {
             self.mean_short > 0.0 && self.mean_long > 0.0,
             "mean durations must be positive"
         );
-        assert!(
-            (0.0..=1.0).contains(&self.alpha),
-            "alpha must be in [0, 1]"
-        );
+        assert!((0.0..=1.0).contains(&self.alpha), "alpha must be in [0, 1]");
     }
 
     /// `Pr(t, M)`: probability an exponential member with mean `m`

@@ -94,10 +94,7 @@ fn ablation_k_trees() {
         ev_forest(&trees, l, d)
     };
 
-    let two = forest(&[
-        vec![classes[0], classes[1]],
-        vec![classes[2]],
-    ]);
+    let two = forest(&[vec![classes[0], classes[1]], vec![classes[2]]]);
     let three = forest(&[vec![classes[0]], vec![classes[1]], vec![classes[2]]]);
 
     let headers = ["organization", "cost (#keys)", "gain%"];
@@ -274,6 +271,7 @@ fn ablation_model_vs_sim() {
         warmup: 15,
         verify_members: false,
         oracle_hints: false,
+        parallelism: 1,
     };
     let simulate = |mgr: &mut dyn GroupKeyManager| {
         let mut rng = StdRng::seed_from_u64(4242);
@@ -330,7 +328,13 @@ fn ablation_probabilistic_tree() {
     let n = 4096usize;
     let d = 4usize;
     let balanced = expected_eviction_cost_balanced(n, d);
-    let headers = ["churner fraction", "churner weight", "Huffman cost", "balanced", "gain%"];
+    let headers = [
+        "churner fraction",
+        "churner weight",
+        "Huffman cost",
+        "balanced",
+        "gain%",
+    ];
     let mut rows = Vec::new();
     for (frac, ratio) in [(0.1, 10.0), (0.1, 50.0), (0.3, 10.0), (0.5, 5.0)] {
         let churners = (frac * n as f64) as usize;

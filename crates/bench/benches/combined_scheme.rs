@@ -142,11 +142,7 @@ fn main() {
     );
 
     let rows = [
-        (
-            "one-keytree",
-            baseline.server_keys,
-            baseline.transport_keys,
-        ),
+        ("one-keytree", baseline.server_keys, baseline.transport_keys),
         ("tt-scheme", tt_result.server_keys, tt_result.transport_keys),
         (
             "combined (§3 + §4.2)",
@@ -179,7 +175,13 @@ fn main() {
     );
     write_csv(
         "combined_scheme",
-        &["scheme", "server_keys", "server_saving", "transport_keys", "transport_saving"],
+        &[
+            "scheme",
+            "server_keys",
+            "server_saving",
+            "transport_keys",
+            "transport_saving",
+        ],
         &table,
     );
 

@@ -40,7 +40,12 @@ fn fec_gain(alpha: f64, params: &FecParams) -> f64 {
 }
 
 fn wka_gain(alpha: f64) -> f64 {
-    let one = ev_wka(N as u64, 256.0, 4, &LossMix::two_point(alpha, P_HIGH, P_LOW));
+    let one = ev_wka(
+        N as u64,
+        256.0,
+        4,
+        &LossMix::two_point(alpha, P_HIGH, P_LOW),
+    );
     let n_high = (alpha * N).round() as u64;
     let homog = ev_forest(
         &[
@@ -82,11 +87,7 @@ fn main() {
             wka_gain(alpha)
         };
         fec_peak = fec_peak.max(fg);
-        rows.push(vec![
-            fmt(alpha, 1),
-            fmt(fg * 100.0, 1),
-            fmt(wg * 100.0, 1),
-        ]);
+        rows.push(vec![fmt(alpha, 1), fmt(fg * 100.0, 1), fmt(wg * 100.0, 1)]);
     }
     print_table(
         "§4.4 — loss-homogenization gain: proactive FEC vs WKA-BKR transport",

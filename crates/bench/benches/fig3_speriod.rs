@@ -16,7 +16,12 @@ fn main() {
     let base = PartitionParams::paper_default();
     println!(
         "Table 1 defaults: Tp={}s N={} d={} Ms={}s Ml={}s alpha={}",
-        base.rekey_period, base.group_size, base.degree, base.mean_short, base.mean_long, base.alpha
+        base.rekey_period,
+        base.group_size,
+        base.degree,
+        base.mean_short,
+        base.mean_long,
+        base.alpha
     );
 
     let headers = ["K", "one-keytree", "TT-scheme", "QT-scheme", "PT-scheme"];

@@ -51,5 +51,11 @@ fn bench_keywrap(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sha256, bench_hmac, bench_chacha20, bench_keywrap);
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_hmac,
+    bench_chacha20,
+    bench_keywrap
+);
 criterion_main!(benches);

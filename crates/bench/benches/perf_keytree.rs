@@ -11,9 +11,7 @@ use rekey_keytree::MemberId;
 
 fn build_server(n: u64, rng: &mut StdRng) -> LkhServer {
     let mut server = LkhServer::new(4, 0);
-    let joins: Vec<(MemberId, Key)> = (0..n)
-        .map(|i| (MemberId(i), Key::generate(rng)))
-        .collect();
+    let joins: Vec<(MemberId, Key)> = (0..n).map(|i| (MemberId(i), Key::generate(rng))).collect();
     server.apply_batch(&joins, &[], rng);
     server
 }
@@ -78,5 +76,10 @@ fn bench_member_processing(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_single_ops, bench_batch, bench_member_processing);
+criterion_group!(
+    benches,
+    bench_single_ops,
+    bench_batch,
+    bench_member_processing
+);
 criterion_main!(benches);

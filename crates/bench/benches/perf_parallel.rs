@@ -1,0 +1,128 @@
+//! Parallel rekey-engine benchmark: wall-clock time of one mixed
+//! rekey batch at 1/2/4/8 encryption workers for several group sizes,
+//! written to `BENCH_parallel.json` at the workspace root.
+//!
+//! The engine guarantees byte-identical output for every worker count
+//! (asserted here as well), so the only thing that may change with
+//! `--threads` is time. Speedups require physical cores: on a 1-core
+//! host every worker count measures the same sequential work plus
+//! thread overhead.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rekey_crypto::Key;
+use rekey_keytree::server::LkhServer;
+use rekey_keytree::MemberId;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const GROUP_SIZES: [u64; 3] = [4096, 16384, 65536];
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const REPS: usize = 5;
+
+struct Sample {
+    n: u64,
+    workers: usize,
+    encrypted_keys: usize,
+    mean_s: f64,
+    min_s: f64,
+    speedup_vs_seq: f64,
+}
+
+fn build_server(n: u64) -> LkhServer {
+    let mut rng = StdRng::seed_from_u64(n);
+    let mut server = LkhServer::new(4, 0);
+    let joins: Vec<(MemberId, Key)> = (0..n)
+        .map(|i| (MemberId(i), Key::generate(&mut rng)))
+        .collect();
+    server.apply_batch(&joins, &[], &mut rng);
+    server
+}
+
+/// One rekey interval with churn at 1/16 of the group: half leaves,
+/// half joins — a group-oriented batch, the expensive mode.
+fn churn(n: u64) -> (Vec<(MemberId, Key)>, Vec<MemberId>) {
+    let mut rng = StdRng::seed_from_u64(n ^ 0xC0FFEE);
+    let each = (n / 32).max(8);
+    let stride = (n / each) | 1;
+    let leavers: Vec<MemberId> = (0..each).map(|i| MemberId((i * stride) % n)).collect();
+    let joins: Vec<(MemberId, Key)> = (0..each)
+        .map(|i| (MemberId(1_000_000 + i), Key::generate(&mut rng)))
+        .collect();
+    (joins, leavers)
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    println!("parallel rekey engine bench ({cores} core(s) available)");
+
+    let mut samples: Vec<Sample> = Vec::new();
+    for n in GROUP_SIZES {
+        let base = build_server(n);
+        let (joins, leavers) = churn(n);
+        let mut seq_min = 0.0f64;
+        let mut reference = None;
+        for workers in WORKER_COUNTS {
+            let mut times = Vec::with_capacity(REPS);
+            let mut encrypted_keys = 0;
+            for rep in 0..REPS {
+                let mut server = base.clone();
+                server.set_parallelism(workers);
+                let mut rng = StdRng::seed_from_u64(7 + rep as u64);
+                let start = Instant::now();
+                let out = server.apply_batch(&joins, &leavers, &mut rng);
+                times.push(start.elapsed().as_secs_f64());
+                encrypted_keys = out.stats.encrypted_keys;
+                if rep == 0 {
+                    // The engine's core guarantee, re-checked on bench
+                    // inputs: worker count never changes the message.
+                    match &reference {
+                        None => reference = Some(out.message),
+                        Some(msg) => assert_eq!(msg, &out.message, "output diverged"),
+                    }
+                }
+            }
+            let min_s = times.iter().cloned().fold(f64::INFINITY, f64::min);
+            let mean_s = times.iter().sum::<f64>() / times.len() as f64;
+            if workers == 1 {
+                seq_min = min_s;
+            }
+            let speedup = seq_min / min_s;
+            println!(
+                "n={n:>6} workers={workers}  min {:>9.3} ms  mean {:>9.3} ms  {encrypted_keys} keys  speedup {speedup:>5.2}x",
+                min_s * 1e3,
+                mean_s * 1e3
+            );
+            samples.push(Sample {
+                n,
+                workers,
+                encrypted_keys,
+                mean_s,
+                min_s,
+                speedup_vs_seq: speedup,
+            });
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"perf_parallel\",");
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(json, "  \"reps_per_point\": {REPS},");
+    json.push_str("  \"results\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        let sep = if i + 1 == samples.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"n\": {}, \"workers\": {}, \"encrypted_keys\": {}, \"min_s\": {:.6}, \"mean_s\": {:.6}, \"speedup_vs_seq\": {:.3}}}{sep}",
+            s.n, s.workers, s.encrypted_keys, s.min_s, s.mean_s, s.speedup_vs_seq
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel.json");
+    std::fs::write(path, &json).expect("write BENCH_parallel.json");
+    println!("wrote {path}");
+}

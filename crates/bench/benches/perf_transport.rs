@@ -61,7 +61,13 @@ fn bench_wka_delivery(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             let mut rng = StdRng::seed_from_u64(seed);
-            wka_bkr::deliver(&out.message, &interest, &pop, &WkaBkrConfig::default(), &mut rng)
+            wka_bkr::deliver(
+                &out.message,
+                &interest,
+                &pop,
+                &WkaBkrConfig::default(),
+                &mut rng,
+            )
         })
     });
 

@@ -27,7 +27,11 @@ fn churned_tree(
     l: u64,
     id_base: u64,
     rng: &mut StdRng,
-) -> (LkhServer, rekey_keytree::message::RekeyMessage, Vec<MemberId>) {
+) -> (
+    LkhServer,
+    rekey_keytree::message::RekeyMessage,
+    Vec<MemberId>,
+) {
     let mut server = LkhServer::new(4, 0);
     let joins: Vec<(MemberId, Key)> = (0..n)
         .map(|i| (MemberId(id_base + i), Key::generate(rng)))
@@ -104,10 +108,7 @@ fn multigroup_fairness() {
     b_low_volume /= runs as f64;
 
     let rows = vec![
-        vec![
-            "one group, mixed tree".to_string(),
-            fmt(a_low_volume, 1),
-        ],
+        vec!["one group, mixed tree".to_string(), fmt(a_low_volume, 1)],
         vec![
             "per-class groups, homogenized trees".to_string(),
             fmt(b_low_volume, 1),

@@ -8,9 +8,11 @@
 //!
 //! rekey simulate  [--scheme one|tt|qt|pt|forest] [--n 2048] [--k 10]
 //!                 [--alpha 0.8] [--intervals 40] [--warmup 15]
-//!                 [--seed 42] [--verify true]
+//!                 [--seed 42] [--verify true] [--threads 1]
 //!     Run the executable key server over a synthetic two-class
-//!     workload and report measured bandwidth.
+//!     workload and report measured bandwidth. `--threads` sets the
+//!     worker count for the encryption phase; it changes wall-clock
+//!     time only, never the emitted messages or reported metrics.
 //!
 //! rekey recommend [--n 65536] [--d 4] [--tp 60] [--ms 180]
 //!                 [--ml 10800] [--alpha 0.8] [--max-k 20]
@@ -124,6 +126,7 @@ fn cmd_simulate(args: &Args) -> CliResult {
         warmup: args.get_parsed_or("warmup", 15usize)?,
         verify_members: verify,
         oracle_hints: scheme == "pt",
+        parallelism: args.get_parsed_or("threads", 1usize)?,
     };
 
     let mut manager: Box<dyn GroupKeyManager> = match scheme.as_str() {
@@ -168,7 +171,13 @@ fn cmd_recommend(args: &Args) -> CliResult {
         alpha: p.alpha,
         samples: 0,
     };
-    let rec = recommend(p.group_size, p.degree, p.rekey_period, Some(estimate), max_k);
+    let rec = recommend(
+        p.group_size,
+        p.degree,
+        p.rekey_period,
+        Some(estimate),
+        max_k,
+    );
     println!(
         "recommendation: {:?}\npredicted cost {:.0} keys/interval vs one-keytree {:.0} ({:.1}% saving)",
         rec.scheme,

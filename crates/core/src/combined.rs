@@ -219,6 +219,13 @@ impl GroupKeyManager for CombinedManager {
         })
     }
 
+    fn set_parallelism(&mut self, workers: usize) {
+        self.s.set_parallelism(workers);
+        for tree in &mut self.l_trees {
+            tree.set_parallelism(workers);
+        }
+    }
+
     fn dek_node(&self) -> NodeId {
         self.dek.node
     }
@@ -228,7 +235,12 @@ impl GroupKeyManager for CombinedManager {
     }
 
     fn member_count(&self) -> usize {
-        self.s.member_count() + self.l_trees.iter().map(LkhServer::member_count).sum::<usize>()
+        self.s.member_count()
+            + self
+                .l_trees
+                .iter()
+                .map(LkhServer::member_count)
+                .sum::<usize>()
     }
 
     fn contains(&self, member: MemberId) -> bool {
@@ -365,7 +377,10 @@ mod tests {
                 }
             }
         }
-        assert!(mgr.l_class_size(0) + mgr.l_class_size(1) > 0, "migrations happened");
+        assert!(
+            mgr.l_class_size(0) + mgr.l_class_size(1) > 0,
+            "migrations happened"
+        );
     }
 
     #[test]

@@ -167,6 +167,15 @@ pub trait GroupKeyManager {
         rng: &mut dyn RngCore,
     ) -> Result<IntervalOutcome, KeyTreeError>;
 
+    /// Sets the worker count used for the encryption phase of batch
+    /// rekeying (see `rekey_keytree::server::LkhServer::set_parallelism`).
+    /// Rekey messages are byte-identical for every setting; workers
+    /// only change wall-clock time. Managers without a parallel
+    /// encryption phase ignore the setting (the default).
+    fn set_parallelism(&mut self, workers: usize) {
+        let _ = workers;
+    }
+
     /// Node id under which the group DEK is distributed (stable).
     fn dek_node(&self) -> NodeId;
 

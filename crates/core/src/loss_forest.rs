@@ -156,6 +156,12 @@ impl GroupKeyManager for LossForestManager {
         })
     }
 
+    fn set_parallelism(&mut self, workers: usize) {
+        for tree in &mut self.trees {
+            tree.set_parallelism(workers);
+        }
+    }
+
     fn dek_node(&self) -> NodeId {
         self.dek.node
     }

@@ -54,6 +54,10 @@ impl GroupKeyManager for OneTreeManager {
         })
     }
 
+    fn set_parallelism(&mut self, workers: usize) {
+        self.server.set_parallelism(workers);
+    }
+
     fn dek_node(&self) -> NodeId {
         self.server.root_node()
     }

@@ -172,6 +172,11 @@ impl GroupKeyManager for TtManager {
         })
     }
 
+    fn set_parallelism(&mut self, workers: usize) {
+        self.s.set_parallelism(workers);
+        self.l.set_parallelism(workers);
+    }
+
     fn dek_node(&self) -> NodeId {
         self.dek.node
     }
@@ -253,8 +258,7 @@ impl GroupKeyManager for QtManager {
         mut rng: &mut dyn RngCore,
     ) -> Result<IntervalOutcome, KeyTreeError> {
         self.epoch += 1;
-        let (s_leaves, l_leaves) =
-            split_leaves(leaves, |m| self.queue.contains(m), &self.l)?;
+        let (s_leaves, l_leaves) = split_leaves(leaves, |m| self.queue.contains(m), &self.l)?;
         for m in &s_leaves {
             self.queue.remove(*m)?;
         }
@@ -323,9 +327,10 @@ impl GroupKeyManager for QtManager {
                 .map(|s| (s.member, s.node, s.individual_key.clone()))
                 .collect();
             for (member, node, ik) in slots {
-                message
-                    .entries
-                    .push(self.dek.wrap_under(node, 0, &ik, true, Some(member), 1, rng));
+                message.entries.push(
+                    self.dek
+                        .wrap_under(node, 0, &ik, true, Some(member), 1, rng),
+                );
             }
         }
 
@@ -338,6 +343,10 @@ impl GroupKeyManager for QtManager {
             },
             message,
         })
+    }
+
+    fn set_parallelism(&mut self, workers: usize) {
+        self.l.set_parallelism(workers);
     }
 
     fn dek_node(&self) -> NodeId {
@@ -464,6 +473,11 @@ impl GroupKeyManager for PtManager {
             },
             message,
         })
+    }
+
+    fn set_parallelism(&mut self, workers: usize) {
+        self.s.set_parallelism(workers);
+        self.l.set_parallelism(workers);
     }
 
     fn dek_node(&self) -> NodeId {

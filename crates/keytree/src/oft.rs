@@ -285,8 +285,10 @@ impl OftMember {
                 } => {
                     // Inside the promoted subtree: drop the level whose
                     // ancestor vanished.
-                    if let Some(pos) =
-                        self.levels.iter().position(|l| l.ancestor == *removed_parent)
+                    if let Some(pos) = self
+                        .levels
+                        .iter()
+                        .position(|l| l.ancestor == *removed_parent)
                     {
                         self.levels.remove(pos);
                     }
@@ -316,9 +318,7 @@ impl OftMember {
                         }
                     };
                     let Some(key) = key else { continue };
-                    if level_idx >= self.levels.len()
-                        || self.levels[level_idx].sibling != *node
-                    {
+                    if level_idx >= self.levels.len() || self.levels[level_idx].sibling != *node {
                         continue; // stale or mis-addressed
                     }
                     let new_blind = keywrap::unwrap(&key, wrapped)?;
@@ -488,12 +488,7 @@ impl OftServer {
 
     /// Walks from `from_idx` to the root, emitting each changed blind
     /// to the sibling's subtree encrypted under the sibling's key.
-    fn blind_updates_up<R: RngCore>(
-        &self,
-        from_idx: usize,
-        rng: &mut R,
-        ops: &mut Vec<OftOp>,
-    ) {
+    fn blind_updates_up<R: RngCore>(&self, from_idx: usize, rng: &mut R, ops: &mut Vec<OftOp>) {
         let mut idx = from_idx;
         while let Some(parent) = self.node(idx).parent {
             let p = self.node(parent);

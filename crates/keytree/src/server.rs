@@ -17,13 +17,38 @@
 //!   every refreshed key is encrypted once under its *own previous
 //!   version* (all existing members can decrypt that) plus once under
 //!   the individual key of each joining member beneath it.
+//!
+//! # Performance architecture
+//!
+//! A batch is processed in three phases:
+//!
+//! 1. **Mutation** (sequential): the tree structure is updated and
+//!    fresh keys are generated for every dirty node. This phase owns
+//!    the caller's RNG and is inherently ordered.
+//! 2. **Planning** (sequential): every encryption the batch needs is
+//!    recorded as a [`PlannedWrap`] — KEK, payload, per-entry metadata
+//!    and a nonce pre-drawn from the caller's RNG in plan order. All
+//!    buffers live in a reusable [`RekeyScratch`] arena, so steady-state
+//!    batches perform no per-epoch heap allocation beyond the output
+//!    message itself.
+//! 3. **Execution** (parallel): the planned wraps are pure functions
+//!    of their inputs, so they are fanned out across a scoped worker
+//!    pool ([`LkhServer::set_parallelism`]) with results written into
+//!    pre-indexed slots. The output is **byte-identical** to the
+//!    sequential build for every worker count, because all ordering
+//!    and randomness was fixed during planning.
 
 use crate::message::{RekeyEntry, RekeyMessage};
 use crate::tree::KeyTree;
 use crate::{KeyTreeError, MemberId, NodeId};
 use rand::RngCore;
-use rekey_crypto::{keywrap, Key};
-use std::collections::{BTreeMap, BTreeSet};
+use rekey_crypto::keywrap::{self, WrappedKey, NONCE_LEN};
+use rekey_crypto::Key;
+use std::collections::VecDeque;
+
+/// Below this many planned encryptions a batch is executed inline:
+/// thread spawn/join overhead would dominate the crypto work.
+const PARALLEL_MIN_JOBS: usize = 64;
 
 /// Statistics about one batched rekey operation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -49,11 +74,106 @@ pub struct BatchOutcome {
     pub stats: BatchStats,
 }
 
+/// Everything a [`RekeyEntry`] carries except the ciphertext.
+#[derive(Debug, Clone, Copy)]
+struct EntryMeta {
+    target: NodeId,
+    target_version: u64,
+    under: NodeId,
+    under_version: u64,
+    under_is_leaf: bool,
+    recipient: Option<MemberId>,
+    audience: u32,
+    target_depth: u32,
+}
+
+/// One planned key encryption: a pure function of its fields, ready to
+/// execute on any worker. Keys are held inline (32-byte copies, no
+/// heap) so workers never chase pointers into the tree.
+#[derive(Debug, Clone)]
+struct PlannedWrap {
+    kek: Key,
+    payload: Key,
+    nonce: [u8; NONCE_LEN],
+    meta: EntryMeta,
+}
+
+impl PlannedWrap {
+    fn execute(&self) -> WrappedKey {
+        keywrap::wrap_with_nonce(&self.kek, &self.payload, self.nonce)
+    }
+
+    fn into_entry(self, wrapped: WrappedKey) -> RekeyEntry {
+        RekeyEntry {
+            target: self.meta.target,
+            target_version: self.meta.target_version,
+            under: self.meta.under,
+            under_version: self.meta.under_version,
+            under_is_leaf: self.meta.under_is_leaf,
+            recipient: self.meta.recipient,
+            audience: self.meta.audience,
+            target_depth: self.meta.target_depth,
+            wrapped,
+        }
+    }
+}
+
+/// Reusable per-batch working memory for the rekey engine.
+///
+/// Every buffer is cleared (capacity retained) at the start of a batch,
+/// so a warmed-up server performs no per-epoch heap allocation in the
+/// planning phase; the only allocation per batch is the output
+/// [`RekeyMessage`] handed to the caller.
+#[derive(Debug, Clone, Default)]
+pub struct RekeyScratch {
+    /// Dirty node ids, sorted ascending and deduplicated.
+    dirty: Vec<NodeId>,
+    /// Pre-refresh `(node, version, key)` snapshots, sorted by node —
+    /// populated only for pure-join batches (the only mode that wraps
+    /// under previous keys).
+    old_versions: Vec<(NodeId, u64, Key)>,
+    /// Tree slots vacated by this batch's departures.
+    vacancies: VecDeque<NodeId>,
+    /// Interior nodes created by leaf splits in this batch.
+    created: Vec<NodeId>,
+    /// Flattened leaf-to-root paths of this batch's joiners.
+    path_nodes: Vec<NodeId>,
+    /// `(offset, len)` spans into `path_nodes`, parallel to the
+    /// batch's `joined_leaves`.
+    path_spans: Vec<(usize, usize)>,
+    /// The encryption plan for the current batch.
+    plan: Vec<PlannedWrap>,
+    /// Per-plan-slot results written by the worker pool.
+    wrapped: Vec<Option<WrappedKey>>,
+}
+
+impl RekeyScratch {
+    fn begin_batch(&mut self) {
+        self.dirty.clear();
+        self.old_versions.clear();
+        self.vacancies.clear();
+        self.created.clear();
+        self.path_nodes.clear();
+        self.path_spans.clear();
+        self.plan.clear();
+        self.wrapped.clear();
+    }
+
+    fn old_version_of(&self, node: NodeId) -> Option<&(NodeId, u64, Key)> {
+        self.old_versions
+            .binary_search_by_key(&node, |&(n, _, _)| n)
+            .ok()
+            .map(|i| &self.old_versions[i])
+    }
+}
+
 /// The key server for one logical key tree.
 #[derive(Debug, Clone)]
 pub struct LkhServer {
     tree: KeyTree,
     epoch: u64,
+    parallelism: usize,
+    scratch: RekeyScratch,
 }
 
 impl LkhServer {
@@ -71,7 +191,23 @@ impl LkhServer {
         LkhServer {
             tree: KeyTree::new(degree, namespace, &mut boot),
             epoch: 0,
+            parallelism: 1,
+            scratch: RekeyScratch::default(),
         }
+    }
+
+    /// Sets the worker count for the encryption phase of batch
+    /// rekeying (`0` is treated as `1`). The emitted message is
+    /// byte-identical for every setting; workers only change wall-clock
+    /// time. Returns `self` for builder-style chaining.
+    pub fn set_parallelism(&mut self, workers: usize) -> &mut Self {
+        self.parallelism = workers.max(1);
+        self
+    }
+
+    /// Current worker count for the encryption phase.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// Read access to the underlying tree.
@@ -131,27 +267,82 @@ impl LkhServer {
         rng: &mut R,
     ) -> Result<BatchOutcome, KeyTreeError> {
         self.epoch += 1;
-        let mut dirty: BTreeSet<NodeId> = BTreeSet::new();
-        // Remember pre-refresh versions for the pure-join fast path.
-        let mut old_versions: BTreeMap<NodeId, (u64, Key)> = BTreeMap::new();
+        self.scratch.begin_batch();
+
+        // ---- Phase 1: tree mutation + fresh key generation --------
+        let joined_leaves = self.mutate_tree(joins, leaves, rng)?;
+
+        // ---- Phase 2: plan every encryption this batch needs ------
+        let pure_join = leaves.is_empty();
+        if pure_join {
+            self.snapshot_old_versions();
+        }
+        for &node in &self.scratch.dirty {
+            self.tree.refresh_key(node, rng);
+        }
+        if pure_join {
+            self.plan_join_entries(&joined_leaves);
+        } else {
+            self.plan_group_oriented_entries();
+        }
+        // Deepest targets first => members decrypt in one pass. The
+        // sort is stable, so entries for one node keep their relative
+        // order.
+        self.scratch
+            .plan
+            .sort_by_key(|job| std::cmp::Reverse(job.meta.target_depth));
+        // Nonces are drawn sequentially in final plan order: the
+        // execution phase is then a pure data-parallel map, identical
+        // for every worker count.
+        for job in &mut self.scratch.plan {
+            rng.fill_bytes(&mut job.nonce);
+        }
+
+        // ---- Phase 3: execute the plan on the worker pool ---------
+        let entries = self.execute_plan();
+
+        let stats = BatchStats {
+            joins: joins.len(),
+            leaves: leaves.len(),
+            refreshed_keys: self.scratch.dirty.len(),
+            encrypted_keys: entries.len(),
+        };
+        Ok(BatchOutcome {
+            message: RekeyMessage {
+                epoch: self.epoch,
+                entries,
+            },
+            joined_leaves,
+            stats,
+        })
+    }
+
+    /// Phase 1: applies the membership changes to the tree, recording
+    /// dirty nodes, vacancies, and created interiors in the scratch
+    /// arena. Returns the leaf assignments of this batch's joiners.
+    fn mutate_tree<R: RngCore>(
+        &mut self,
+        joins: &[(MemberId, Key)],
+        leaves: &[MemberId],
+        rng: &mut R,
+    ) -> Result<Vec<(MemberId, NodeId)>, KeyTreeError> {
+        let scratch = &mut self.scratch;
 
         // Slots vacated by departures are re-used for joiners
         // ([YLZL01] batch rekeying): with J = L the join paths then
         // coincide with the leave paths and the batch costs Ne(N, L).
-        let mut vacancies: std::collections::VecDeque<NodeId> = std::collections::VecDeque::new();
         for &member in leaves {
             let removed_dirty = self.tree.remove_member(member)?;
             if let Some(&parent) = removed_dirty.first() {
-                vacancies.push_back(parent);
+                scratch.vacancies.push_back(parent);
             }
-            dirty.extend(removed_dirty);
+            scratch.dirty.extend(removed_dirty);
         }
 
         let mut joined_leaves = Vec::with_capacity(joins.len());
-        let mut created: BTreeSet<NodeId> = BTreeSet::new();
         for (member, individual_key) in joins {
             let mut outcome = None;
-            while let Some(slot) = vacancies.pop_front() {
+            while let Some(slot) = scratch.vacancies.pop_front() {
                 if let Some(at_slot) =
                     self.tree
                         .insert_member_at(*member, individual_key.clone(), slot)?
@@ -167,56 +358,200 @@ impl LkhServer {
                     .insert_member(*member, individual_key.clone(), rng)?,
             };
             joined_leaves.push((*member, outcome.leaf));
-            dirty.extend(outcome.dirty_path);
+            scratch.dirty.extend(outcome.dirty_path);
             if let Some(node) = outcome.created_interior {
-                created.insert(node);
+                scratch.created.push(node);
             }
         }
 
-        // Drop nodes that later structural repair deleted.
-        dirty.retain(|node| self.tree.key_of(*node).is_some());
+        // Dedup and drop nodes that later structural repair deleted;
+        // ascending order fixes the plan's (and thus the message's)
+        // canonical node order.
+        scratch.dirty.sort_unstable();
+        scratch.dirty.dedup();
+        let tree = &self.tree;
+        scratch.dirty.retain(|node| tree.key_of(*node).is_some());
+        Ok(joined_leaves)
+    }
 
-        // Snapshot old keys, then refresh.
-        for node in &dirty {
-            let (key, version) = self.tree.key_of(*node).expect("dirty node is alive");
-            old_versions.insert(*node, (version, key.clone()));
+    /// Snapshots `(version, key)` of every dirty node before refresh.
+    /// Only pure-join batches wrap anything under a previous key, so
+    /// mixed/leave batches skip this copy entirely.
+    fn snapshot_old_versions(&mut self) {
+        let scratch = &mut self.scratch;
+        scratch.old_versions.reserve(scratch.dirty.len());
+        for &node in &scratch.dirty {
+            let (key, version) = self.tree.key_of(node).expect("dirty node is alive");
+            // `dirty` is sorted, so `old_versions` is born sorted.
+            scratch.old_versions.push((node, version, key.clone()));
         }
-        for node in &dirty {
-            self.tree.refresh_key(*node, rng);
+    }
+
+    /// Plans group-oriented rekeying (mixed or leave batches): every
+    /// refreshed key is encrypted under the current key of each of its
+    /// children.
+    fn plan_group_oriented_entries(&mut self) {
+        let scratch = &mut self.scratch;
+        let tree = &self.tree;
+        for &node in &scratch.dirty {
+            let (new_key, new_version) = tree.key_of(node).expect("dirty node is alive");
+            let depth = tree.depth_of(node).expect("dirty node is alive") as u32;
+            for child in tree.children_of(node).expect("dirty node is alive") {
+                scratch.plan.push(PlannedWrap {
+                    kek: child.key.clone(),
+                    payload: new_key.clone(),
+                    nonce: [0; NONCE_LEN],
+                    meta: EntryMeta {
+                        target: node,
+                        target_version: new_version,
+                        under: child.id,
+                        under_version: child.version,
+                        under_is_leaf: child.is_leaf,
+                        recipient: child.member,
+                        audience: child.audience as u32,
+                        target_depth: depth,
+                    },
+                });
+            }
+        }
+    }
+
+    /// Plans the §2.1 join procedure (pure-join batches): each
+    /// refreshed key is encrypted under its own previous version plus
+    /// under the individual key of each joiner beneath it.
+    fn plan_join_entries(&mut self, joined_leaves: &[(MemberId, NodeId)]) {
+        let scratch = &mut self.scratch;
+        let tree = &self.tree;
+
+        // Paths of the new members, computed once into the arena.
+        for (member, _) in joined_leaves {
+            let start = scratch.path_nodes.len();
+            tree.path_of_into(*member, &mut scratch.path_nodes)
+                .expect("member just joined");
+            scratch
+                .path_spans
+                .push((start, scratch.path_nodes.len() - start));
         }
 
-        let mut entries = Vec::new();
-        let pure_join = leaves.is_empty();
-        if pure_join {
-            self.emit_join_entries(
-                &dirty,
-                &created,
-                &old_versions,
-                &joined_leaves,
-                rng,
-                &mut entries,
-            );
-        } else {
-            self.emit_group_oriented_entries(&dirty, rng, &mut entries);
+        for &node in &scratch.dirty {
+            let (new_key, new_version) = tree.key_of(node).expect("dirty node is alive");
+            let depth = tree.depth_of(node).expect("dirty node is alive") as u32;
+            let audience = tree.leaf_count_under(node) as u32;
+
+            // One entry under the node's own previous key: every
+            // existing member below already holds it. A brand-new node
+            // (created by a leaf split) has no previous holders and
+            // skips this entry.
+            if let Some(&(_, old_version, ref old_key)) = scratch.old_version_of(node) {
+                if old_version < new_version && !scratch.created.contains(&node) {
+                    scratch.plan.push(PlannedWrap {
+                        kek: old_key.clone(),
+                        payload: new_key.clone(),
+                        nonce: [0; NONCE_LEN],
+                        meta: EntryMeta {
+                            target: node,
+                            target_version: new_version,
+                            under: node,
+                            under_version: old_version,
+                            under_is_leaf: false,
+                            recipient: None,
+                            audience,
+                            target_depth: depth,
+                        },
+                    });
+                }
+            }
+
+            // One entry per joining member whose path contains `node`.
+            for ((member, leaf), &(start, len)) in joined_leaves.iter().zip(&scratch.path_spans) {
+                if scratch.path_nodes[start..start + len].contains(&node) {
+                    let (leaf_key, _) = tree.key_of(*leaf).expect("fresh leaf is alive");
+                    scratch.plan.push(PlannedWrap {
+                        kek: leaf_key.clone(),
+                        payload: new_key.clone(),
+                        nonce: [0; NONCE_LEN],
+                        meta: EntryMeta {
+                            target: node,
+                            target_version: new_version,
+                            under: *leaf,
+                            under_version: 0,
+                            under_is_leaf: true,
+                            recipient: Some(*member),
+                            audience: 1,
+                            target_depth: depth,
+                        },
+                    });
+                }
+            }
         }
 
-        // Deepest targets first => members decrypt in one pass.
-        entries.sort_by_key(|e| std::cmp::Reverse(e.target_depth));
+        // Interior nodes freshly created by leaf splits may have
+        // pre-existing members below (the split leaf); deliver the new
+        // node's key to them under their existing child keys.
+        for &node in &scratch.created {
+            let (new_key, new_version) = tree.key_of(node).expect("created node is alive");
+            let depth = tree.depth_of(node).expect("created node is alive") as u32;
+            for child in tree.children_of(node).expect("created node is alive") {
+                if joined_leaves.iter().any(|&(_, l)| l == child.id) {
+                    continue; // already covered by per-joiner entries
+                }
+                scratch.plan.push(PlannedWrap {
+                    kek: child.key.clone(),
+                    payload: new_key.clone(),
+                    nonce: [0; NONCE_LEN],
+                    meta: EntryMeta {
+                        target: node,
+                        target_version: new_version,
+                        under: child.id,
+                        under_version: child.version,
+                        under_is_leaf: child.is_leaf,
+                        recipient: child.member,
+                        audience: child.audience as u32,
+                        target_depth: depth,
+                    },
+                });
+            }
+        }
+    }
 
-        let stats = BatchStats {
-            joins: joins.len(),
-            leaves: leaves.len(),
-            refreshed_keys: dirty.len(),
-            encrypted_keys: entries.len(),
-        };
-        Ok(BatchOutcome {
-            message: RekeyMessage {
-                epoch: self.epoch,
-                entries,
-            },
-            joined_leaves,
-            stats,
-        })
+    /// Phase 3: turns the plan into the output entries, fanning the
+    /// encryption work across up to `parallelism` scoped workers.
+    /// Output order (and bytes) is fixed by the plan regardless of the
+    /// worker count.
+    fn execute_plan(&mut self) -> Vec<RekeyEntry> {
+        let scratch = &mut self.scratch;
+        let jobs = scratch.plan.len();
+        let workers = self.parallelism.min(jobs.max(1));
+
+        if workers <= 1 || jobs < PARALLEL_MIN_JOBS {
+            return scratch
+                .plan
+                .drain(..)
+                .map(|job| {
+                    let wrapped = job.execute();
+                    job.into_entry(wrapped)
+                })
+                .collect();
+        }
+
+        scratch.wrapped.resize(jobs, None);
+        let chunk = jobs.div_ceil(workers);
+        let plan = &scratch.plan;
+        std::thread::scope(|scope| {
+            for (in_chunk, out_chunk) in plan.chunks(chunk).zip(scratch.wrapped.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (job, slot) in in_chunk.iter().zip(out_chunk) {
+                        *slot = Some(job.execute());
+                    }
+                });
+            }
+        });
+        scratch
+            .plan
+            .drain(..)
+            .zip(scratch.wrapped.drain(..))
+            .map(|(job, wrapped)| job.into_entry(wrapped.expect("worker filled its slots")))
+            .collect()
     }
 
     /// Infallible wrapper around [`LkhServer::try_apply_batch`].
@@ -246,7 +581,8 @@ impl LkhServer {
         individual_key: Key,
         rng: &mut R,
     ) -> RekeyMessage {
-        self.apply_batch(&[(member, individual_key)], &[], rng).message
+        self.apply_batch(&[(member, individual_key)], &[], rng)
+            .message
     }
 
     /// Evicts a single member immediately (non-batched leave).
@@ -317,131 +653,6 @@ impl LkhServer {
             audience,
             target_depth: 0,
             wrapped: keywrap::wrap(under_key, self.tree.root_key(), rng),
-        }
-    }
-
-    fn emit_group_oriented_entries<R: RngCore>(
-        &self,
-        dirty: &BTreeSet<NodeId>,
-        rng: &mut R,
-        entries: &mut Vec<RekeyEntry>,
-    ) {
-        for &node in dirty {
-            let (new_key, new_version) = {
-                let (k, v) = self.tree.key_of(node).expect("dirty node is alive");
-                (k.clone(), v)
-            };
-            let depth = self.tree.depth_of(node).expect("dirty node is alive") as u32;
-            let children = self.tree.children_info(node).expect("dirty node is alive");
-            for child in children {
-                entries.push(RekeyEntry {
-                    target: node,
-                    target_version: new_version,
-                    under: child.id,
-                    under_version: child.version,
-                    under_is_leaf: child.is_leaf,
-                    recipient: child.member,
-                    audience: child.audience as u32,
-                    target_depth: depth,
-                    wrapped: keywrap::wrap(child.key, &new_key, rng),
-                });
-            }
-        }
-    }
-
-    fn emit_join_entries<R: RngCore>(
-        &self,
-        dirty: &BTreeSet<NodeId>,
-        created: &BTreeSet<NodeId>,
-        old_versions: &BTreeMap<NodeId, (u64, Key)>,
-        joined_leaves: &[(MemberId, NodeId)],
-        rng: &mut R,
-        entries: &mut Vec<RekeyEntry>,
-    ) {
-        // Paths of the new members, leaf-side first.
-        let new_leaf_keys: BTreeMap<NodeId, Key> = joined_leaves
-            .iter()
-            .map(|(_, leaf)| {
-                let (k, _) = self.tree.key_of(*leaf).expect("fresh leaf is alive");
-                (*leaf, k.clone())
-            })
-            .collect();
-
-        for &node in dirty {
-            let (new_key, new_version) = {
-                let (k, v) = self.tree.key_of(node).expect("dirty node is alive");
-                (k.clone(), v)
-            };
-            let depth = self.tree.depth_of(node).expect("dirty node is alive") as u32;
-            let audience = self.tree.leaf_count_under(node) as u32;
-
-            // One entry under the node's own previous key: every
-            // existing member below already holds it. A brand-new node
-            // (created by a leaf split) has no previous holders and
-            // skips this entry.
-            if let Some((old_version, old_key)) = old_versions.get(&node) {
-                if *old_version < new_version && !created.contains(&node) {
-                    entries.push(RekeyEntry {
-                        target: node,
-                        target_version: new_version,
-                        under: node,
-                        under_version: *old_version,
-                        under_is_leaf: false,
-                        recipient: None,
-                        audience,
-                        target_depth: depth,
-                        wrapped: keywrap::wrap(old_key, &new_key, rng),
-                    });
-                }
-            }
-
-            // One entry per joining member whose path contains `node`.
-            for (member, leaf) in joined_leaves {
-                let path = self.tree.path_of(*member).expect("member just joined");
-                if path.contains(&node) {
-                    entries.push(RekeyEntry {
-                        target: node,
-                        target_version: new_version,
-                        under: *leaf,
-                        under_version: 0,
-                        under_is_leaf: true,
-                        recipient: Some(*member),
-                        audience: 1,
-                        target_depth: depth,
-                        wrapped: keywrap::wrap(&new_leaf_keys[leaf], &new_key, rng),
-                    });
-                }
-            }
-        }
-
-        // Interior nodes freshly created by leaf splits may have
-        // pre-existing members below (the split leaf); deliver the new
-        // node's key to them under their existing child keys.
-        for &node in created {
-                let (new_key, new_version) = {
-                    let (k, v) = self.tree.key_of(node).expect("dirty node is alive");
-                    (k.clone(), v)
-                };
-                let depth = self.tree.depth_of(node).expect("dirty node is alive") as u32;
-                let children = self.tree.children_info(node).expect("dirty node is alive");
-                let new_leaves: BTreeSet<NodeId> =
-                    joined_leaves.iter().map(|(_, l)| *l).collect();
-                for child in children {
-                    if new_leaves.contains(&child.id) {
-                        continue; // already covered by per-joiner entries
-                    }
-                    entries.push(RekeyEntry {
-                        target: node,
-                        target_version: new_version,
-                        under: child.id,
-                        under_version: child.version,
-                        under_is_leaf: child.is_leaf,
-                        recipient: child.member,
-                        audience: child.audience as u32,
-                        target_depth: depth,
-                        wrapped: keywrap::wrap(child.key, &new_key, rng),
-                    });
-                }
         }
     }
 }
@@ -640,7 +851,65 @@ mod tests {
         let outcome = server.apply_batch(&[], &[MemberId(1)], &mut rng);
         for entry in &outcome.message.entries {
             let actual = server.members_under(entry.under).len();
-            assert_eq!(entry.audience as usize, actual, "entry under {}", entry.under);
+            assert_eq!(
+                entry.audience as usize, actual,
+                "entry under {}",
+                entry.under
+            );
+        }
+    }
+
+    /// The tentpole guarantee: for the same seed and batch, every
+    /// worker count yields a byte-identical message (mixed batch large
+    /// enough to cross the parallel threshold).
+    #[test]
+    fn parallel_output_is_byte_identical() {
+        let build_msg = |workers: usize| {
+            let mut rng = StdRng::seed_from_u64(77);
+            let mut server = LkhServer::new(4, 0);
+            server.set_parallelism(workers);
+            let joins: Vec<(MemberId, Key)> = (0..512)
+                .map(|i| (MemberId(i), Key::generate(&mut rng)))
+                .collect();
+            server.apply_batch(&joins, &[], &mut rng);
+            let leavers: Vec<MemberId> = (0..64).map(|i| MemberId(i * 7)).collect();
+            let out = server.apply_batch(&[], &leavers, &mut rng);
+            (out.message, out.stats)
+        };
+        let (seq_msg, seq_stats) = build_msg(1);
+        for workers in [2, 4, 8] {
+            let (par_msg, par_stats) = build_msg(workers);
+            assert_eq!(seq_msg, par_msg, "divergence at {workers} workers");
+            assert_eq!(seq_stats, par_stats);
+        }
+    }
+
+    /// Scratch reuse across epochs must not leak state between batches.
+    #[test]
+    fn scratch_reuse_is_stateless_across_batches() {
+        let (mut server, mut members, mut rng) = build_group(4, 40);
+        for round in 0..6u64 {
+            let joins: Vec<(MemberId, Key)> = (0..3)
+                .map(|i| (MemberId(1000 + round * 10 + i), Key::generate(&mut rng)))
+                .collect();
+            let leavers = [MemberId(round), MemberId(20 + round)];
+            let outcome = server.apply_batch(&joins, &leavers, &mut rng);
+            for m in &mut members {
+                if server.contains(m.id()) {
+                    m.process(&outcome.message).unwrap();
+                }
+            }
+            for (id, ik) in &joins {
+                let mut newbie = GroupMember::new(*id, ik.clone());
+                newbie.process(&outcome.message).unwrap();
+                members.push(newbie);
+            }
+            let present: Vec<MemberId> = members
+                .iter()
+                .map(|m| m.id())
+                .filter(|id| !server.contains(*id))
+                .collect();
+            assert_all_have_root(&server, &members, &present);
         }
     }
 }

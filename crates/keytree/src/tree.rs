@@ -196,15 +196,8 @@ impl KeyTree {
     /// root (inclusive) — exactly the auxiliary keys the member holds
     /// in addition to its individual key.
     pub fn path_of(&self, member: MemberId) -> Result<Vec<NodeId>, KeyTreeError> {
-        let leaf = self
-            .leaf_of(member)
-            .ok_or(KeyTreeError::UnknownMember(member))?;
-        let mut idx = self.index_of[&leaf];
         let mut path = Vec::new();
-        while let Some(parent) = self.node(idx).parent {
-            idx = parent;
-            path.push(self.node(idx).id);
-        }
+        self.path_of_into(member, &mut path)?;
         Ok(path)
     }
 
@@ -239,27 +232,45 @@ impl KeyTree {
         self.leaf_of.keys().copied()
     }
 
-    /// Children ids of `node` with their current keys/versions and
-    /// subtree member counts, or `None` if the node does not exist.
-    pub(crate) fn children_info(&self, node: NodeId) -> Option<Vec<ChildInfo<'_>>> {
+    /// Iterates over the children of `node` with their current keys,
+    /// versions, and subtree member counts, or `None` if the node does
+    /// not exist. Allocation-free: the rekey engine walks every dirty
+    /// node's children once per batch.
+    pub(crate) fn children_of(
+        &self,
+        node: NodeId,
+    ) -> Option<impl Iterator<Item = ChildInfo<'_>> + '_> {
         let &idx = self.index_of.get(&node)?;
-        Some(
-            self.node(idx)
-                .children
-                .iter()
-                .map(|&c| {
-                    let child = self.node(c);
-                    ChildInfo {
-                        id: child.id,
-                        key: &child.key,
-                        version: child.version,
-                        audience: child.leaf_count,
-                        is_leaf: child.member.is_some(),
-                        member: child.member,
-                    }
-                })
-                .collect(),
-        )
+        Some(self.node(idx).children.iter().map(move |&c| {
+            let child = self.node(c);
+            ChildInfo {
+                id: child.id,
+                key: &child.key,
+                version: child.version,
+                audience: child.leaf_count,
+                is_leaf: child.member.is_some(),
+                member: child.member,
+            }
+        }))
+    }
+
+    /// Appends the node ids on the path from the member's leaf
+    /// (exclusive) to the root (inclusive) onto `out` — the
+    /// allocation-free core of [`KeyTree::path_of`].
+    pub(crate) fn path_of_into(
+        &self,
+        member: MemberId,
+        out: &mut Vec<NodeId>,
+    ) -> Result<(), KeyTreeError> {
+        let leaf = self
+            .leaf_of(member)
+            .ok_or(KeyTreeError::UnknownMember(member))?;
+        let mut idx = self.index_of[&leaf];
+        while let Some(parent) = self.node(idx).parent {
+            idx = parent;
+            out.push(self.node(idx).id);
+        }
+        Ok(())
     }
 
     /// Installs a fresh random key at `node`, bumping its version.

@@ -25,6 +25,10 @@ pub struct SimConfig {
     /// Attach ground-truth duration-class hints to joins (for the
     /// oracle PT-scheme).
     pub oracle_hints: bool,
+    /// Worker threads for the manager's encryption phase (`0`/`1` =
+    /// sequential). Rekey messages and all reported metrics are
+    /// identical for every setting; only wall-clock time changes.
+    pub parallelism: usize,
 }
 
 impl SimConfig {
@@ -35,6 +39,7 @@ impl SimConfig {
             warmup: 5,
             verify_members: false,
             oracle_hints: false,
+            parallelism: 1,
         }
     }
 }
@@ -69,6 +74,7 @@ pub fn run_scheme<R: Rng>(
 ) -> SimReport {
     let mut states: BTreeMap<MemberId, GroupMember> = BTreeMap::new();
     let mut measured: Vec<IntervalStats> = Vec::with_capacity(config.intervals);
+    manager.set_parallelism(config.parallelism);
 
     // Admit the pre-populated steady-state members in one bootstrap
     // interval (excluded from measurement).
@@ -222,6 +228,7 @@ where
     use rekey_transport::loss::Population;
     use rekey_transport::wka_bkr::{self, WkaBkrConfig};
 
+    manager.set_parallelism(config.parallelism);
     let mut losses: BTreeMap<MemberId, f64> = BTreeMap::new();
     let assign = |losses: &mut BTreeMap<MemberId, f64>, m: MemberId, rng: &mut R| {
         let p = if rng.gen::<f64>() < high_fraction {
@@ -269,13 +276,8 @@ where
                 .map(|m| (*m, losses.get(m).copied().unwrap_or(p_low)))
                 .collect(),
         );
-        let delivery = wka_bkr::deliver(
-            &out.message,
-            &interest,
-            &pop,
-            &WkaBkrConfig::default(),
-            rng,
-        );
+        let delivery =
+            wka_bkr::deliver(&out.message, &interest, &pop, &WkaBkrConfig::default(), rng);
         assert!(delivery.report.complete, "rekey delivery incomplete");
         for (&m, &(lost, seen)) in &delivery.lost_packets {
             feedback(manager, m, lost, seen);
@@ -347,6 +349,7 @@ mod tests {
             warmup: 2,
             verify_members: true,
             oracle_hints: false,
+            parallelism: 1,
         };
         let report = run_scheme(&mut mgr, &mut gen, &cfg, &mut rng);
         assert!(report.mean_keys_per_interval > 0.0);
@@ -363,6 +366,7 @@ mod tests {
             warmup: 3,
             verify_members: true,
             oracle_hints: false,
+            parallelism: 1,
         };
         let report = run_scheme(&mut mgr, &mut gen, &cfg, &mut rng);
         assert!(report.final_size > 0);
@@ -378,6 +382,7 @@ mod tests {
             warmup: 3,
             verify_members: true,
             oracle_hints: false,
+            parallelism: 1,
         };
         run_scheme(&mut mgr, &mut gen, &cfg, &mut rng);
     }
@@ -402,6 +407,28 @@ mod tests {
         assert!(report.mean_rounds >= 1.0);
         // The feedback loop placed migrated members into both classes.
         assert!(mgr.l_class_size(0) + mgr.l_class_size(1) > 0);
+    }
+
+    #[test]
+    fn bandwidth_metrics_invariant_under_parallelism() {
+        // The worker pool must never change what is measured: the same
+        // seeded workload must produce identical SimReports at 1 and 8
+        // threads.
+        let run = |threads: usize| {
+            let mut rng = StdRng::seed_from_u64(99);
+            let mut gen = MembershipGenerator::new(params(400), &mut rng);
+            let mut mgr = TtManager::new(4, 5);
+            let cfg = SimConfig {
+                parallelism: threads,
+                ..SimConfig::quick()
+            };
+            run_scheme(&mut mgr, &mut gen, &cfg, &mut rng)
+        };
+        let seq = run(1);
+        let par = run(8);
+        assert_eq!(seq.intervals, par.intervals);
+        assert_eq!(seq.mean_keys_per_interval, par.mean_keys_per_interval);
+        assert_eq!(seq.final_size, par.final_size);
     }
 
     #[test]

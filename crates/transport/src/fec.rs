@@ -118,7 +118,10 @@ pub fn deliver<R: Rng>(
     rng: &mut R,
 ) -> FecOutcome {
     assert!(config.proactivity >= 1.0, "proactivity must be >= 1");
-    assert!(config.block_packets >= 1, "need at least one packet per block");
+    assert!(
+        config.block_packets >= 1,
+        "need at least one packet per block"
+    );
 
     // Pack payload: breadth-first (top keys first), then group into
     // blocks.
@@ -146,12 +149,14 @@ pub fn deliver<R: Rng>(
     // Per receiver, per needed block: shards received so far.
     let mut pending: BTreeMap<MemberId, BTreeMap<usize, BTreeSet<usize>>> = BTreeMap::new();
     for (&member, set) in interest {
-        let blocks_needed: BTreeSet<usize> =
-            set.iter().map(|e| entry_block[e]).collect();
+        let blocks_needed: BTreeSet<usize> = set.iter().map(|e| entry_block[e]).collect();
         if !blocks_needed.is_empty() {
             pending.insert(
                 member,
-                blocks_needed.into_iter().map(|b| (b, BTreeSet::new())).collect(),
+                blocks_needed
+                    .into_iter()
+                    .map(|b| (b, BTreeSet::new()))
+                    .collect(),
             );
         }
     }
@@ -300,7 +305,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let pop = Population::two_point(&members, 0.3, 0.2, 0.02, &mut rng);
         let outcome = deliver(&message, &interest, &pop, &cfg_verified(), &mut rng);
-        assert!(outcome.report.complete, "delivery incomplete: {:?}", outcome.report);
+        assert!(
+            outcome.report.complete,
+            "delivery incomplete: {:?}",
+            outcome.report
+        );
     }
 
     #[test]

@@ -38,6 +38,33 @@ fn tables() -> &'static Tables {
     })
 }
 
+/// Full 256×256 product table (64 KiB): row `c` maps `s → c·s`.
+/// Turning the log/exp/zero-check dance of a scalar multiply into a
+/// single indexed load is what makes the wide bulk routines below
+/// branch-free.
+fn mul_table() -> &'static [[u8; 256]; 256] {
+    use std::sync::OnceLock;
+    static MUL: OnceLock<Box<[[u8; 256]; 256]>> = OnceLock::new();
+    MUL.get_or_init(|| {
+        let mut table = vec![[0u8; 256]; 256];
+        for (c, row) in table.iter_mut().enumerate() {
+            for (s, out) in row.iter_mut().enumerate() {
+                *out = mul(c as u8, s as u8);
+            }
+        }
+        table
+            .into_boxed_slice()
+            .try_into()
+            .expect("table has exactly 256 rows")
+    })
+}
+
+/// The multiplication-by-`c` row of the product table: `row[s] = c·s`.
+#[inline]
+pub fn mul_row(c: u8) -> &'static [u8; 256] {
+    &mul_table()[c as usize]
+}
+
 /// Addition in GF(256) (XOR).
 #[inline]
 pub fn add(a: u8, b: u8) -> u8 {
@@ -82,23 +109,74 @@ pub fn exp2(e: usize) -> u8 {
     tables().exp[e % 255]
 }
 
+/// `dst[i] ^= src[i]` with 8-byte word passes.
+fn xor_acc_wide(dst: &mut [u8], src: &[u8]) {
+    let mut d = dst.chunks_exact_mut(8);
+    let mut s = src.chunks_exact(8);
+    for (d8, s8) in (&mut d).zip(&mut s) {
+        let word = u64::from_ne_bytes(d8.try_into().expect("chunk of 8"))
+            ^ u64::from_ne_bytes(s8.try_into().expect("chunk of 8"));
+        d8.copy_from_slice(&word.to_ne_bytes());
+    }
+    for (d1, s1) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *d1 ^= s1;
+    }
+}
+
 /// `dst[i] ^= c * src[i]` — the inner loop of RS encoding/decoding.
+///
+/// Table-driven wide form: one 256-byte row lookup per call, then
+/// eight branch-free table loads per pass over the data. Compared to
+/// the scalar log/exp formulation this removes the per-byte zero check
+/// and the two dependent table lookups from the hot loop.
 pub fn mul_acc(dst: &mut [u8], src: &[u8], c: u8) {
     debug_assert_eq!(dst.len(), src.len());
-    if c == 0 {
-        return;
-    }
-    if c == 1 {
-        for (d, s) in dst.iter_mut().zip(src) {
-            *d ^= s;
+    match c {
+        0 => {}
+        1 => xor_acc_wide(dst, src),
+        _ => {
+            let row = mul_row(c);
+            let mut d = dst.chunks_exact_mut(8);
+            let mut s = src.chunks_exact(8);
+            for (d8, s8) in (&mut d).zip(&mut s) {
+                d8[0] ^= row[s8[0] as usize];
+                d8[1] ^= row[s8[1] as usize];
+                d8[2] ^= row[s8[2] as usize];
+                d8[3] ^= row[s8[3] as usize];
+                d8[4] ^= row[s8[4] as usize];
+                d8[5] ^= row[s8[5] as usize];
+                d8[6] ^= row[s8[6] as usize];
+                d8[7] ^= row[s8[7] as usize];
+            }
+            for (d1, s1) in d.into_remainder().iter_mut().zip(s.remainder()) {
+                *d1 ^= row[*s1 as usize];
+            }
         }
-        return;
     }
-    let t = tables();
-    let log_c = t.log[c as usize] as usize;
-    for (d, s) in dst.iter_mut().zip(src) {
-        if *s != 0 {
-            *d ^= t.exp[log_c + t.log[*s as usize] as usize];
+}
+
+/// `dst[i] = c * dst[i]` in place — the row-normalization step of RS
+/// decoding, in the same wide table-driven form as [`mul_acc`].
+pub fn scale(dst: &mut [u8], c: u8) {
+    match c {
+        0 => dst.fill(0),
+        1 => {}
+        _ => {
+            let row = mul_row(c);
+            let mut d = dst.chunks_exact_mut(8);
+            for d8 in &mut d {
+                d8[0] = row[d8[0] as usize];
+                d8[1] = row[d8[1] as usize];
+                d8[2] = row[d8[2] as usize];
+                d8[3] = row[d8[3] as usize];
+                d8[4] = row[d8[4] as usize];
+                d8[5] = row[d8[5] as usize];
+                d8[6] = row[d8[6] as usize];
+                d8[7] = row[d8[7] as usize];
+            }
+            for d1 in d.into_remainder() {
+                *d1 = row[*d1 as usize];
+            }
         }
     }
 }
@@ -193,6 +271,46 @@ mod tests {
                 *d ^= mul(c, *s);
             }
             assert_eq!(fast, slow, "c = {c}");
+        }
+    }
+
+    #[test]
+    fn mul_acc_handles_non_multiple_of_eight_lengths() {
+        // Exercise the remainder path of the 8-wide loop.
+        for len in [0usize, 1, 7, 8, 9, 13, 63, 257] {
+            let src: Vec<u8> = (0..len).map(|i| (i * 37 + 5) as u8).collect();
+            for c in [0u8, 1, 29, 255] {
+                let mut fast = vec![0x5C; len];
+                let mut slow = fast.clone();
+                mul_acc(&mut fast, &src, c);
+                for (d, s) in slow.iter_mut().zip(&src) {
+                    *d ^= mul(c, *s);
+                }
+                assert_eq!(fast, slow, "len = {len}, c = {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_row_matches_scalar_mul() {
+        for c in [0u8, 1, 2, 142, 255] {
+            let row = mul_row(c);
+            for s in 0..=255u8 {
+                assert_eq!(row[s as usize], mul(c, s), "c={c} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_matches_scalar_mul() {
+        for len in [0usize, 5, 8, 21, 256] {
+            let base: Vec<u8> = (0..len).map(|i| (i * 11 + 3) as u8).collect();
+            for c in [0u8, 1, 77, 254] {
+                let mut fast = base.clone();
+                scale(&mut fast, c);
+                let slow: Vec<u8> = base.iter().map(|&b| mul(c, b)).collect();
+                assert_eq!(fast, slow, "len = {len}, c = {c}");
+            }
         }
     }
 

@@ -117,7 +117,13 @@ mod tests {
         let interest = interest_map(&message, |n| server.members_under(n));
         let pop = Population::homogeneous(&members, 0.1);
         let mut rng = StdRng::seed_from_u64(1);
-        let report = deliver(&message, &interest, &pop, &MultiSendConfig::default(), &mut rng);
+        let report = deliver(
+            &message,
+            &interest,
+            &pop,
+            &MultiSendConfig::default(),
+            &mut rng,
+        );
         assert!(report.complete);
     }
 
@@ -132,8 +138,14 @@ mod tests {
         for seed in 0..6u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let pop = Population::two_point(&members, 0.2, 0.2, 0.02, &mut rng);
-            multi += deliver(&message, &interest, &pop, &MultiSendConfig::default(), &mut rng)
-                .keys_transmitted;
+            multi += deliver(
+                &message,
+                &interest,
+                &pop,
+                &MultiSendConfig::default(),
+                &mut rng,
+            )
+            .keys_transmitted;
             let mut rng = StdRng::seed_from_u64(seed);
             let pop = Population::two_point(&members, 0.2, 0.2, 0.02, &mut rng);
             wka += wka_bkr::deliver(

@@ -131,7 +131,10 @@ impl ReedSolomon {
                 have: available.len(),
             });
         }
-        let len = shards[available[0]].as_ref().expect("listed available").len();
+        let len = shards[available[0]]
+            .as_ref()
+            .expect("listed available")
+            .len();
         for &i in &available {
             if shards[i].as_ref().expect("listed available").len() != len {
                 return Err(RsError::Malformed);
@@ -169,26 +172,24 @@ impl ReedSolomon {
             rhs.swap(col, pivot);
             // Normalize pivot row.
             let inv_p = gf256::inv(matrix[col][col]);
-            #[allow(clippy::needless_range_loop)]
-            for c in col..self.k {
-                matrix[col][c] = gf256::mul(matrix[col][c], inv_p);
-            }
-            for b in rhs[col].iter_mut() {
-                *b = gf256::mul(*b, inv_p);
-            }
-            // Eliminate the column everywhere else.
-            for r in 0..self.k {
-                if r == col || matrix[r][col] == 0 {
+            gf256::scale(&mut matrix[col][col..], inv_p);
+            gf256::scale(&mut rhs[col], inv_p);
+            // Eliminate the column everywhere else. Split borrows keep
+            // the pivot row readable while other rows are updated, so
+            // the elimination loop allocates nothing.
+            let (m_before, m_rest) = matrix.split_at_mut(col);
+            let (m_pivot, m_after) = m_rest.split_first_mut().expect("col < k");
+            let (r_before, r_rest) = rhs.split_at_mut(col);
+            let (r_pivot, r_after) = r_rest.split_first_mut().expect("col < k");
+            let other_rows = m_before.iter_mut().chain(m_after.iter_mut());
+            let other_rhs = r_before.iter_mut().chain(r_after.iter_mut());
+            for (row, rhs_row) in other_rows.zip(other_rhs) {
+                let factor = row[col];
+                if factor == 0 {
                     continue;
                 }
-                let factor = matrix[r][col];
-                let pivot_row = matrix[col].clone();
-                #[allow(clippy::needless_range_loop)]
-                for c in col..self.k {
-                    matrix[r][c] ^= gf256::mul(factor, pivot_row[c]);
-                }
-                let src = rhs[col].clone();
-                gf256::mul_acc(&mut rhs[r], &src, factor);
+                gf256::mul_acc(&mut row[col..], &m_pivot[col..], factor);
+                gf256::mul_acc(rhs_row, r_pivot, factor);
             }
         }
         Ok(rhs)

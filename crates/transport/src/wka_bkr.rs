@@ -159,10 +159,16 @@ pub fn deliver<R: Rng>(
             .collect();
         match config.packing {
             Packing::BreadthFirst => weighted.sort_by_key(|&(idx, _)| {
-                (message.entries[idx].target_depth, message.entries[idx].under.0)
+                (
+                    message.entries[idx].target_depth,
+                    message.entries[idx].under.0,
+                )
             }),
             Packing::DepthFirst => weighted.sort_by_key(|&(idx, _)| {
-                (message.entries[idx].under.0, message.entries[idx].target_depth)
+                (
+                    message.entries[idx].under.0,
+                    message.entries[idx].target_depth,
+                )
             }),
         }
 
@@ -257,7 +263,13 @@ mod tests {
         let interest = interest_map(&message, |n| server.members_under(n));
         let pop = Population::homogeneous(&members, 0.0);
         let mut rng = StdRng::seed_from_u64(1);
-        let outcome = deliver(&message, &interest, &pop, &WkaBkrConfig::default(), &mut rng);
+        let outcome = deliver(
+            &message,
+            &interest,
+            &pop,
+            &WkaBkrConfig::default(),
+            &mut rng,
+        );
         assert!(outcome.report.complete);
         assert_eq!(outcome.report.rounds, 1);
         // No loss → no replication: exactly the message's entries.
@@ -270,9 +282,18 @@ mod tests {
         let interest = interest_map(&message, |n| server.members_under(n));
         let mut rng = StdRng::seed_from_u64(2);
         let pop = Population::two_point(&members, 0.2, 0.2, 0.02, &mut rng);
-        let outcome = deliver(&message, &interest, &pop, &WkaBkrConfig::default(), &mut rng);
+        let outcome = deliver(
+            &message,
+            &interest,
+            &pop,
+            &WkaBkrConfig::default(),
+            &mut rng,
+        );
         assert!(outcome.report.complete);
-        assert!(outcome.report.rounds >= 2, "loss should force retransmission");
+        assert!(
+            outcome.report.rounds >= 2,
+            "loss should force retransmission"
+        );
         assert!(outcome.report.keys_transmitted > message.entries.len());
     }
 
@@ -282,7 +303,13 @@ mod tests {
         let interest = interest_map(&message, |n| server.members_under(n));
         let pop = Population::homogeneous(&members, 0.15);
         let mut rng = StdRng::seed_from_u64(3);
-        let outcome = deliver(&message, &interest, &pop, &WkaBkrConfig::default(), &mut rng);
+        let outcome = deliver(
+            &message,
+            &interest,
+            &pop,
+            &WkaBkrConfig::default(),
+            &mut rng,
+        );
         assert!(outcome.report.complete);
         // BKR retransmits keys, so later rounds are much smaller.
         if outcome.rounds.len() >= 2 {
@@ -303,7 +330,13 @@ mod tests {
         let interest = interest_map(&message, |n| server.members_under(n));
         let pop = Population::homogeneous(&members, 0.2);
         let mut rng = StdRng::seed_from_u64(4);
-        let outcome = deliver(&message, &interest, &pop, &WkaBkrConfig::default(), &mut rng);
+        let outcome = deliver(
+            &message,
+            &interest,
+            &pop,
+            &WkaBkrConfig::default(),
+            &mut rng,
+        );
         assert!(
             outcome.rounds[0].keys > message.entries.len(),
             "round 1 sent {} keys for {} entries — no proactive replication",
@@ -329,7 +362,13 @@ mod tests {
         let interest = interest_map(&message, |n| server.members_under(n));
         let pop = Population::homogeneous(&members, 0.3);
         let mut rng = StdRng::seed_from_u64(5);
-        let outcome = deliver(&message, &interest, &pop, &WkaBkrConfig::default(), &mut rng);
+        let outcome = deliver(
+            &message,
+            &interest,
+            &pop,
+            &WkaBkrConfig::default(),
+            &mut rng,
+        );
         // Every receiver observed some packets; loss fractions should
         // be near 0.3 in aggregate.
         let (lost, seen): (u64, u64) = outcome
@@ -347,7 +386,13 @@ mod tests {
         let interest = interest_map(&message, |n| server.members_under(n));
         let pop = Population::homogeneous(&members, 0.1);
         let mut rng = StdRng::seed_from_u64(8);
-        let outcome = deliver(&message, &interest, &pop, &WkaBkrConfig::default(), &mut rng);
+        let outcome = deliver(
+            &message,
+            &interest,
+            &pop,
+            &WkaBkrConfig::default(),
+            &mut rng,
+        );
         assert!(outcome.report.complete);
         // Every interested member received something, and aggregate
         // receiver volume ≈ keys_transmitted × (1 - p) × members.

@@ -104,7 +104,9 @@ fn main() {
         .iter()
         .map(|&m| Join::new(m, Key::generate(&mut rng)))
         .collect();
-    new_manager.process_interval(&rejoin, &[], &mut rng).unwrap();
+    new_manager
+        .process_interval(&rejoin, &[], &mut rng)
+        .unwrap();
     println!(
         "Phase 3: switched to {} with {} members",
         new_manager.scheme_name(),

@@ -36,7 +36,10 @@ struct Session {
 /// 10·HIGH_LOSS_FRACTION`, admits everyone (with loss hints), and
 /// evicts a spread of members; returns the manager, the loss
 /// population, and the rekey message to deliver.
-fn build(manager: Box<dyn GroupKeyManager>, seed: u64) -> (Session, rekey_keytree::message::RekeyMessage) {
+fn build(
+    manager: Box<dyn GroupKeyManager>,
+    seed: u64,
+) -> (Session, rekey_keytree::message::RekeyMessage) {
     let mut manager = manager;
     let mut rng = StdRng::seed_from_u64(seed);
     let threshold = (10.0 * HIGH_LOSS_FRACTION) as u64;
@@ -71,12 +74,17 @@ fn main() {
         "Group of {N} receivers; {:.0}% behind lossy links (p={P_HIGH}), rest p={P_LOW}.",
         HIGH_LOSS_FRACTION * 100.0
     );
-    println!("{LEAVERS} members are evicted in one batch; the rekey message must reach everyone.\n");
+    println!(
+        "{LEAVERS} members are evicted in one batch; the rekey message must reach everyone.\n"
+    );
 
     let runs = 5u64;
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
 
-    for (label, homogenized) in [("one mixed key tree", false), ("loss-homogenized forest", true)] {
+    for (label, homogenized) in [
+        ("one mixed key tree", false),
+        ("loss-homogenized forest", true),
+    ] {
         let (mut keys, mut rounds) = (0usize, 0usize);
         for seed in 0..runs {
             let manager: Box<dyn GroupKeyManager> = if homogenized {

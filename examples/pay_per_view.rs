@@ -32,6 +32,7 @@ fn simulate(manager: &mut dyn GroupKeyManager, oracle: bool) -> f64 {
         warmup: 15,
         verify_members: false,
         oracle_hints: oracle,
+        parallelism: 1,
     };
     let mut rng = StdRng::seed_from_u64(SEED);
     let mut generator = MembershipGenerator::new(params, &mut rng);
@@ -56,7 +57,11 @@ fn main() {
     let mut pt = PtManager::new(4);
 
     let rows: Vec<(&str, f64, f64)> = vec![
-        ("one-keytree", simulate(&mut one, false), predicted.one_keytree),
+        (
+            "one-keytree",
+            simulate(&mut one, false),
+            predicted.one_keytree,
+        ),
         ("TT-scheme", simulate(&mut tt, false), predicted.tt),
         ("QT-scheme", simulate(&mut qt, false), predicted.qt),
         ("PT-scheme (oracle)", simulate(&mut pt, true), predicted.pt),

@@ -123,7 +123,9 @@ fn exercise(mut mgr: Box<dyn GroupKeyManager>, seed: u64) {
     // DEKs.
     let newcomer_joins = h.make_joins(1, &mut rng);
     let newcomer = newcomer_joins[0].member;
-    let out = mgr.process_interval(&newcomer_joins, &[], &mut rng).unwrap();
+    let out = mgr
+        .process_interval(&newcomer_joins, &[], &mut rng)
+        .unwrap();
     h.broadcast(&out.message);
     h.check(mgr.as_ref());
     let state = &h.states[&newcomer];
@@ -181,6 +183,7 @@ fn simulated_sessions_stay_synchronized() {
         warmup: 3,
         verify_members: true,
         oracle_hints: true,
+        parallelism: 1,
     };
     let managers: Vec<Box<dyn GroupKeyManager>> = vec![
         Box::new(OneTreeManager::new(4)),

@@ -42,6 +42,7 @@ fn simulate(manager: &mut dyn GroupKeyManager) -> f64 {
         warmup: 15,
         verify_members: false,
         oracle_hints: false,
+        parallelism: 1,
     };
     run_scheme(manager, &mut generator, &config, &mut rng).mean_keys_per_interval
 }

@@ -318,10 +318,7 @@ fn claim_logarithmic_rekeying() {
     for &n in &[1024u64, 65536, 262144] {
         let cost = ne(n, 1.0, 4);
         let h = (n as f64).log(4.0);
-        assert!(
-            cost <= 4.0 * (h + 1.0),
-            "N={n}: {cost:.1} not logarithmic"
-        );
+        assert!(cost <= 4.0 * (h + 1.0), "N={n}: {cost:.1} not logarithmic");
         assert!(cost < n as f64 / 10.0);
     }
 }

@@ -1,0 +1,253 @@
+//! Vendored, dependency-free stand-in for the subset of the
+//! `criterion` crate this workspace's benches use. It times each
+//! benchmark closure with `std::time::Instant` over a fixed wall-clock
+//! budget and prints a one-line mean/min report — no statistics
+//! machinery, no HTML reports, no CLI filtering.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The stub runs one setup
+/// per timed routine call regardless of the hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-iteration timing collector handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            budget,
+        }
+    }
+
+    /// Times `routine` repeatedly until the time budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter_batched`], passing the input by reference.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.samples.push(start.elapsed());
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn report(name: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<44} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = *samples.iter().min().expect("non-empty");
+    let rate = match throughput {
+        Some(Throughput::Bytes(b)) if mean.as_nanos() > 0 => {
+            let gib = b as f64 / mean.as_secs_f64() / (1024.0 * 1024.0 * 1024.0);
+            format!("  {gib:8.3} GiB/s")
+        }
+        Some(Throughput::Elements(e)) if mean.as_nanos() > 0 => {
+            format!("  {:8.1} Melem/s", e as f64 / mean.as_secs_f64() / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<44} mean {:>12}  min {:>12}  ({} samples){rate}",
+        fmt_duration(mean),
+        fmt_duration(min),
+        samples.len()
+    );
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Short budget: the stub is for trend-tracking, not for
+        // publication-grade statistics.
+        Criterion {
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.budget);
+        f(&mut b);
+        report(name.as_ref(), &b.samples, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}:");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput annotations.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.criterion.budget);
+        f(&mut b);
+        report(&format!("  {}", name.as_ref()), &b.samples, self.throughput);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        let mut n = 0u64;
+        b.iter(|| n = n.wrapping_add(1));
+        assert!(!b.samples.is_empty());
+        assert!(n as usize >= b.samples.len());
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_call() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        let mut setups = 0u64;
+        b.iter_batched(
+            || {
+                setups += 1;
+                vec![0u8; 16]
+            },
+            |v| v.len(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups as usize, b.samples.len());
+    }
+}

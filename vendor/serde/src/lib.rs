@@ -1,0 +1,24 @@
+//! Vendored, dependency-free stand-in for the `serde` trait surface
+//! this workspace references. The workspace derives `Serialize` /
+//! `Deserialize` on a handful of report/metrics types but never calls
+//! a serializer (there is no `serde_json` in the dependency graph), so
+//! marker traits with blanket implementations are sufficient for the
+//! offline build. JSON artifacts (e.g. bench baselines) are emitted by
+//! hand-rolled writers instead.
+
+#![forbid(unsafe_code)]
+
+/// Marker for serializable types. Every type qualifies; no serializer
+/// exists in this build.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Every sized type qualifies; no
+/// deserializer exists in this build.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

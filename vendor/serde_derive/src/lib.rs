@@ -1,0 +1,18 @@
+//! No-op derive macros for the vendored `serde` stub: the stub's
+//! `Serialize` / `Deserialize` traits carry blanket implementations,
+//! so the derives have nothing to emit.
+
+use proc_macro::TokenStream;
+
+/// Derives nothing; the blanket `impl<T> Serialize for T` covers it.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives nothing; the blanket `impl<'de, T> Deserialize<'de> for T`
+/// covers it.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
