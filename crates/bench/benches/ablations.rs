@@ -269,9 +269,7 @@ fn ablation_model_vs_sim() {
     let cfg = SimConfig {
         intervals: 40,
         warmup: 15,
-        verify_members: false,
-        oracle_hints: false,
-        parallelism: 1,
+        ..SimConfig::quick()
     };
     let simulate = |mgr: &mut dyn GroupKeyManager| {
         let mut rng = StdRng::seed_from_u64(4242);

@@ -1,4 +1,12 @@
 //! A small `--key value` argument parser (no external dependencies).
+//!
+//! Three flag forms are accepted:
+//!
+//! - `--key value` — the following argument is the value;
+//! - `--key=value` — inline value (the value may itself start with
+//!   `--`, which the two-argument form would swallow as a flag);
+//! - `--key` followed by another flag or the end of the line — a bare
+//!   boolean switch, read back with [`Args::get_bool_or`].
 
 use std::collections::BTreeMap;
 use std::error::Error;
@@ -15,7 +23,7 @@ pub struct Args {
 /// Argument-parsing errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ArgsError {
-    /// A `--flag` appeared without a value.
+    /// A flag that requires a value was given as a bare switch.
     MissingValue(String),
     /// A value could not be parsed as the expected type.
     BadValue {
@@ -47,10 +55,14 @@ impl Error for ArgsError {}
 impl Args {
     /// Parses `args` (without the program name).
     ///
+    /// A flag followed by another flag (or by nothing) is stored as a
+    /// bare boolean switch; value-expecting accessors report
+    /// [`ArgsError::MissingValue`] for it.
+    ///
     /// # Errors
     ///
-    /// Returns [`ArgsError`] on a flag without a value or a stray
-    /// positional after the subcommand.
+    /// Returns [`ArgsError`] on a stray positional after the
+    /// subcommand.
     pub fn parse<I, S>(args: I) -> Result<Self, ArgsError>
     where
         I: IntoIterator<Item = S>,
@@ -60,10 +72,15 @@ impl Args {
         let mut iter = args.into_iter().map(Into::into).peekable();
         while let Some(arg) = iter.next() {
             if let Some(flag) = arg.strip_prefix("--") {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| ArgsError::MissingValue(flag.to_string()))?;
-                out.options.insert(flag.to_string(), value);
+                if let Some((name, value)) = flag.split_once('=') {
+                    out.options.insert(name.to_string(), value.to_string());
+                } else if iter.peek().is_some_and(|next| !next.starts_with("--")) {
+                    let value = iter.next().expect("peeked above");
+                    out.options.insert(flag.to_string(), value);
+                } else {
+                    // Bare switch: present without a value.
+                    out.options.insert(flag.to_string(), String::new());
+                }
             } else if out.command.is_none() {
                 out.command = Some(arg);
             } else {
@@ -87,7 +104,9 @@ impl Args {
     ///
     /// # Errors
     ///
-    /// Returns [`ArgsError::BadValue`] if present but unparseable.
+    /// Returns [`ArgsError::MissingValue`] if the flag was given as a
+    /// bare switch, or [`ArgsError::BadValue`] if present but
+    /// unparseable.
     pub fn get_parsed_or<T: std::str::FromStr>(
         &self,
         flag: &str,
@@ -95,6 +114,24 @@ impl Args {
     ) -> Result<T, ArgsError> {
         match self.get(flag) {
             None => Ok(default),
+            Some("") => Err(ArgsError::MissingValue(flag.to_string())),
+            Some(raw) => raw.parse().map_err(|_| ArgsError::BadValue {
+                flag: flag.to_string(),
+                value: raw.to_string(),
+            }),
+        }
+    }
+
+    /// Boolean option with a default. A bare `--flag` counts as
+    /// `true`; an explicit value must parse as `true` or `false`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgsError::BadValue`] on an unparseable value.
+    pub fn get_bool_or(&self, flag: &str, default: bool) -> Result<bool, ArgsError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some("") => Ok(true),
             Some(raw) => raw.parse().map_err(|_| ArgsError::BadValue {
                 flag: flag.to_string(),
                 value: raw.to_string(),
@@ -125,10 +162,60 @@ mod tests {
 
     #[test]
     fn missing_value_rejected() {
+        // A bare `--n` parses as a switch, but reading it as a value
+        // still reports the missing value.
+        let args = Args::parse(["x", "--n"]).unwrap();
         assert_eq!(
-            Args::parse(["x", "--n"]).unwrap_err(),
+            args.get_parsed_or("n", 1u64).unwrap_err(),
             ArgsError::MissingValue("n".into())
         );
+    }
+
+    #[test]
+    fn equals_form_parses() {
+        let args = Args::parse(["simulate", "--n=4096", "--scheme=tt"]).unwrap();
+        assert_eq!(args.get("n"), Some("4096"));
+        assert_eq!(args.get("scheme"), Some("tt"));
+        assert_eq!(args.get_parsed_or("n", 1u64).unwrap(), 4096);
+    }
+
+    #[test]
+    fn equals_form_value_may_contain_equals_or_dashes() {
+        let args = Args::parse(["x", "--out=a=b", "--note=--literal"]).unwrap();
+        assert_eq!(args.get("out"), Some("a=b"));
+        assert_eq!(args.get("note"), Some("--literal"));
+    }
+
+    #[test]
+    fn bare_switch_is_true() {
+        let args = Args::parse(["simulate", "--verify", "--n", "64"]).unwrap();
+        assert!(args.get_bool_or("verify", false).unwrap());
+        assert_eq!(args.get_parsed_or("n", 1u64).unwrap(), 64);
+        // Trailing bare switch too.
+        let args = Args::parse(["simulate", "--verify"]).unwrap();
+        assert!(args.get_bool_or("verify", false).unwrap());
+    }
+
+    #[test]
+    fn explicit_bool_values() {
+        let args = Args::parse(["x", "--verify", "false"]).unwrap();
+        assert!(!args.get_bool_or("verify", true).unwrap());
+        let args = Args::parse(["x", "--verify=true"]).unwrap();
+        assert!(args.get_bool_or("verify", false).unwrap());
+        let args = Args::parse(["x", "--verify", "maybe"]).unwrap();
+        assert!(matches!(
+            args.get_bool_or("verify", false),
+            Err(ArgsError::BadValue { .. })
+        ));
+        assert!(args.get_bool_or("absent", true).unwrap());
+    }
+
+    #[test]
+    fn bare_switch_reads_back_empty() {
+        let args = Args::parse(["x", "--trace", "--metrics", "m.txt"]).unwrap();
+        assert_eq!(args.get("trace"), Some(""));
+        assert_eq!(args.get("metrics"), Some("m.txt"));
+        assert_eq!(args.get("absent"), None);
     }
 
     #[test]

@@ -8,11 +8,21 @@
 //!
 //! rekey simulate  [--scheme one|tt|qt|pt|forest] [--n 2048] [--k 10]
 //!                 [--alpha 0.8] [--intervals 40] [--warmup 15]
-//!                 [--seed 42] [--verify true] [--threads 1]
+//!                 [--seed 42] [--verify] [--threads 1]
+//!                 [--trace out.trace.json] [--metrics out.prom]
 //!     Run the executable key server over a synthetic two-class
 //!     workload and report measured bandwidth. `--threads` sets the
 //!     worker count for the encryption phase; it changes wall-clock
 //!     time only, never the emitted messages or reported metrics.
+//!     `--trace` writes a Chrome `trace_event` JSON profile of the
+//!     run (load it in about:tracing or Perfetto) and `--metrics`
+//!     writes a Prometheus-style text dump of counters and latency
+//!     histograms; both observe only, the reported bandwidth numbers
+//!     are identical with or without them.
+//!
+//! rekey trace-check --file out.trace.json
+//!     Validate a Chrome trace produced by `--trace`: JSON
+//!     well-formedness, balanced begin/end events, counter shape.
 //!
 //! rekey recommend [--n 65536] [--d 4] [--tp 60] [--ms 180]
 //!                 [--ml 10800] [--alpha 0.8] [--max-k 20]
@@ -45,7 +55,8 @@ use rekey_transport::loss::Population;
 use rekey_transport::{fec, multisend, wka_bkr};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: rekey <model|simulate|recommend|transport> [--flag value ...]
+const USAGE: &str =
+    "usage: rekey <model|simulate|recommend|transport|trace-check> [--flag value ...]
 run `rekey help` or see the crate docs for the full flag list";
 
 fn main() -> ExitCode {
@@ -61,6 +72,7 @@ fn main() -> ExitCode {
         Some("simulate") => cmd_simulate(&args),
         Some("recommend") => cmd_recommend(&args),
         Some("transport") => cmd_transport(&args),
+        Some("trace-check") => cmd_trace_check(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -77,6 +89,16 @@ fn main() -> ExitCode {
 }
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// An optional output-path flag; a bare `--flag` is an error rather
+/// than a silently ignored switch.
+fn path_flag(args: &Args, flag: &str) -> Result<Option<String>, args::ArgsError> {
+    match args.get(flag) {
+        None => Ok(None),
+        Some("") => Err(args::ArgsError::MissingValue(flag.to_string())),
+        Some(path) => Ok(Some(path.to_string())),
+    }
+}
 
 fn model_params(args: &Args) -> Result<PartitionParams, args::ArgsError> {
     let defaults = PartitionParams::paper_default();
@@ -120,13 +142,15 @@ fn cmd_simulate(args: &Args) -> CliResult {
     let k: u64 = args.get_parsed_or("k", 10u64)?;
     let alpha: f64 = args.get_parsed_or("alpha", 0.8f64)?;
     let seed: u64 = args.get_parsed_or("seed", 42u64)?;
-    let verify: bool = args.get_parsed_or("verify", false)?;
+    let verify: bool = args.get_bool_or("verify", false)?;
     let config = SimConfig {
         intervals: args.get_parsed_or("intervals", 40usize)?,
         warmup: args.get_parsed_or("warmup", 15usize)?,
         verify_members: verify,
         oracle_hints: scheme == "pt",
         parallelism: args.get_parsed_or("threads", 1usize)?,
+        trace: path_flag(args, "trace")?,
+        metrics: path_flag(args, "metrics")?,
     };
 
     let mut manager: Box<dyn GroupKeyManager> = match scheme.as_str() {
@@ -159,6 +183,36 @@ fn cmd_simulate(args: &Args) -> CliResult {
     if verify {
         println!("member verification: every present member held the DEK every interval");
     }
+    if config.trace.is_some() || config.metrics.is_some() {
+        let p = report.phases;
+        println!(
+            "phase breakdown: mutate {:.3}s, plan {:.3}s, execute {:.3}s",
+            p.mutate_s, p.plan_s, p.execute_s
+        );
+        if let Some(path) = &config.trace {
+            println!("trace written to {path}");
+        }
+        if let Some(path) = &config.metrics {
+            println!("metrics written to {path}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_trace_check(args: &Args) -> CliResult {
+    let path = args
+        .get("file")
+        .filter(|p| !p.is_empty())
+        .ok_or("trace-check requires --file <path>")?;
+    let text = std::fs::read_to_string(path)?;
+    let summary = rekey_obs::chrome::validate_trace(&text)?;
+    println!(
+        "{path}: valid trace; {} begin / {} end events across {} span names, {} counter samples",
+        summary.begin_events,
+        summary.end_events,
+        summary.span_names.len(),
+        summary.counter_events
+    );
     Ok(())
 }
 

@@ -214,6 +214,7 @@ impl GroupKeyManager for CombinedManager {
                 leaves: leaves.len(),
                 migrations: migrating.len(),
                 encrypted_keys: message.encrypted_key_count(),
+                message_bytes: message.byte_len(),
             },
             message,
         })

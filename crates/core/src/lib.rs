@@ -135,6 +135,10 @@ pub struct IntervalStats {
     /// Encrypted keys in the interval's rekey message — the paper's
     /// key-server bandwidth metric.
     pub encrypted_keys: usize,
+    /// Serialized size of the interval's rekey message in bytes —
+    /// the wire-level counterpart of `encrypted_keys` (entries carry
+    /// headers in addition to the 60-byte wrapped key).
+    pub message_bytes: usize,
 }
 
 /// Result of processing one rekey interval.

@@ -151,6 +151,7 @@ impl GroupKeyManager for LossForestManager {
                 leaves: leaves.len(),
                 migrations: 0,
                 encrypted_keys: message.encrypted_key_count(),
+                message_bytes: message.byte_len(),
             },
             message,
         })

@@ -49,6 +49,7 @@ impl GroupKeyManager for OneTreeManager {
                 leaves: leaves.len(),
                 migrations: 0,
                 encrypted_keys: outcome.message.encrypted_key_count(),
+                message_bytes: outcome.message.byte_len(),
             },
             message: outcome.message,
         })

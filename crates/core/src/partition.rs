@@ -167,6 +167,7 @@ impl GroupKeyManager for TtManager {
                 leaves: leaves.len(),
                 migrations: migrating.len(),
                 encrypted_keys: message.encrypted_key_count(),
+                message_bytes: message.byte_len(),
             },
             message,
         })
@@ -340,6 +341,7 @@ impl GroupKeyManager for QtManager {
                 leaves: leaves.len(),
                 migrations: migrating.len(),
                 encrypted_keys: message.encrypted_key_count(),
+                message_bytes: message.byte_len(),
             },
             message,
         })
@@ -470,6 +472,7 @@ impl GroupKeyManager for PtManager {
                 leaves: leaves.len(),
                 migrations: 0,
                 encrypted_keys: message.encrypted_key_count(),
+                message_bytes: message.byte_len(),
             },
             message,
         })

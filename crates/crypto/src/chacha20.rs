@@ -82,6 +82,10 @@ pub fn xor_in_place(
         }
         counter = counter.wrapping_add(1);
     }
+    rekey_obs::count(
+        "crypto.chacha20_blocks",
+        data.len().div_ceil(BLOCK_LEN) as u64,
+    );
 }
 
 /// Encrypts `data` and returns the ciphertext (convenience wrapper

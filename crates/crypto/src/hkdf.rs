@@ -44,6 +44,7 @@ pub fn expand(prk: &[u8], info: &[u8], out: &mut [u8]) {
 
 /// Convenience: extract-then-expand in one call.
 pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], out: &mut [u8]) {
+    rekey_obs::count("crypto.hkdf", 1);
     let prk = extract(salt, ikm);
     expand(&prk, info, out);
 }

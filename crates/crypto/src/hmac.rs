@@ -59,6 +59,7 @@ impl HmacSha256 {
 
     /// Completes the MAC and returns the 32-byte tag.
     pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        rekey_obs::count("crypto.hmac", 1);
         let inner_digest = self.inner.finalize();
         let mut outer = Sha256::new();
         outer.update(&self.opad_key);

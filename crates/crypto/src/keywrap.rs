@@ -103,6 +103,7 @@ pub fn wrap<R: RngCore>(kek: &Key, payload: &Key, rng: &mut R) -> WrappedKey {
 /// nonces from sequence numbers. Callers must never reuse a nonce with
 /// the same KEK.
 pub fn wrap_with_nonce(kek: &Key, payload: &Key, nonce: [u8; NONCE_LEN]) -> WrappedKey {
+    rekey_obs::count("crypto.keywrap.wrap", 1);
     let (enc_key, mac_key) = subkeys(kek);
     let mut ciphertext = *payload.as_bytes();
     chacha20::xor_in_place(&enc_key, &nonce, 1, &mut ciphertext);
@@ -123,6 +124,7 @@ pub fn wrap_with_nonce(kek: &Key, payload: &Key, nonce: [u8; NONCE_LEN]) -> Wrap
 /// observes when it tries to decrypt a rekey entry that is not
 /// addressed to any key it holds.
 pub fn unwrap(kek: &Key, wrapped: &WrappedKey) -> Result<Key, CryptoError> {
+    rekey_obs::count("crypto.keywrap.unwrap", 1);
     let (enc_key, mac_key) = subkeys(kek);
     let expected = compute_tag(&mac_key, &wrapped.nonce, &wrapped.ciphertext);
     if !ct_eq(&expected, &wrapped.tag) {

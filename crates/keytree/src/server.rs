@@ -37,6 +37,12 @@
 //!    pre-indexed slots. The output is **byte-identical** to the
 //!    sequential build for every worker count, because all ordering
 //!    and randomness was fixed during planning.
+//!
+//! Each phase runs under a `rekey_obs` span (`rekey.mutate`,
+//! `rekey.plan`, `rekey.execute`, plus one `rekey.execute.worker` span
+//! per pool worker and a `rekey.batch` umbrella), so per-phase wall
+//! clock shows up in traces whenever a recorder is installed — and
+//! costs one atomic load per phase when none is.
 
 use crate::message::{RekeyEntry, RekeyMessage};
 use crate::tree::KeyTree;
@@ -268,38 +274,49 @@ impl LkhServer {
     ) -> Result<BatchOutcome, KeyTreeError> {
         self.epoch += 1;
         self.scratch.begin_batch();
+        let _batch_span = rekey_obs::span!("rekey.batch");
 
         // ---- Phase 1: tree mutation + fresh key generation --------
-        let joined_leaves = self.mutate_tree(joins, leaves, rng)?;
+        let joined_leaves = {
+            let _span = rekey_obs::span!("rekey.mutate");
+            self.mutate_tree(joins, leaves, rng)?
+        };
 
         // ---- Phase 2: plan every encryption this batch needs ------
-        let pure_join = leaves.is_empty();
-        if pure_join {
-            self.snapshot_old_versions();
-        }
-        for &node in &self.scratch.dirty {
-            self.tree.refresh_key(node, rng);
-        }
-        if pure_join {
-            self.plan_join_entries(&joined_leaves);
-        } else {
-            self.plan_group_oriented_entries();
-        }
-        // Deepest targets first => members decrypt in one pass. The
-        // sort is stable, so entries for one node keep their relative
-        // order.
-        self.scratch
-            .plan
-            .sort_by_key(|job| std::cmp::Reverse(job.meta.target_depth));
-        // Nonces are drawn sequentially in final plan order: the
-        // execution phase is then a pure data-parallel map, identical
-        // for every worker count.
-        for job in &mut self.scratch.plan {
-            rng.fill_bytes(&mut job.nonce);
+        {
+            let _span = rekey_obs::span!("rekey.plan");
+            let pure_join = leaves.is_empty();
+            if pure_join {
+                self.snapshot_old_versions();
+            }
+            for &node in &self.scratch.dirty {
+                self.tree.refresh_key(node, rng);
+            }
+            if pure_join {
+                self.plan_join_entries(&joined_leaves);
+            } else {
+                self.plan_group_oriented_entries();
+            }
+            // Deepest targets first => members decrypt in one pass.
+            // The sort is stable, so entries for one node keep their
+            // relative order.
+            self.scratch
+                .plan
+                .sort_by_key(|job| std::cmp::Reverse(job.meta.target_depth));
+            // Nonces are drawn sequentially in final plan order: the
+            // execution phase is then a pure data-parallel map,
+            // identical for every worker count.
+            for job in &mut self.scratch.plan {
+                rng.fill_bytes(&mut job.nonce);
+            }
         }
 
         // ---- Phase 3: execute the plan on the worker pool ---------
-        let entries = self.execute_plan();
+        let entries = {
+            let _span = rekey_obs::span!("rekey.execute");
+            self.execute_plan()
+        };
+        rekey_obs::count("rekey.encrypted_keys", entries.len() as u64);
 
         let stats = BatchStats {
             joins: joins.len(),
@@ -540,6 +557,7 @@ impl LkhServer {
         std::thread::scope(|scope| {
             for (in_chunk, out_chunk) in plan.chunks(chunk).zip(scratch.wrapped.chunks_mut(chunk)) {
                 scope.spawn(move || {
+                    let _span = rekey_obs::span!("rekey.execute.worker");
                     for (job, slot) in in_chunk.iter().zip(out_chunk) {
                         *slot = Some(job.execute());
                     }

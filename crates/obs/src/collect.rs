@@ -1,0 +1,243 @@
+//! The standard in-memory [`Recorder`]: collects spans, counters,
+//! histograms, and gauge samples for later export.
+
+use crate::hist::Log2Histogram;
+use crate::Recorder;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Hard cap on retained raw span events. Aggregates (histograms,
+/// counters) keep growing past the cap; only the per-event trace is
+/// truncated, and the number of dropped spans is reported in both
+/// exporters so truncation is never silent.
+pub(crate) const MAX_SPANS: usize = 1 << 20;
+
+/// Cap on retained gauge samples, same policy as [`MAX_SPANS`].
+pub(crate) const MAX_SAMPLES: usize = 1 << 20;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (dotted, e.g. `rekey.plan`).
+    pub name: &'static str,
+    /// Start, nanoseconds since [`crate::now_ns`]'s epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Dense thread id ([`crate::thread_id`]).
+    pub tid: u64,
+}
+
+/// One timestamped gauge sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleEvent {
+    /// Series name (e.g. `sim.message_bytes`).
+    pub name: &'static str,
+    /// Timestamp, nanoseconds since the process trace epoch.
+    pub ts_ns: u64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    spans: Vec<SpanEvent>,
+    dropped_spans: u64,
+    counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Log2Histogram>,
+    samples: Vec<SampleEvent>,
+    dropped_samples: u64,
+}
+
+/// An immutable copy of everything a [`Collector`] has recorded.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Raw span events, in completion order.
+    pub spans: Vec<SpanEvent>,
+    /// Spans discarded after the retention cap was hit.
+    pub dropped_spans: u64,
+    /// Counter totals by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Duration histograms by name (spans feed these too).
+    pub hists: BTreeMap<&'static str, Log2Histogram>,
+    /// Gauge samples, in record order.
+    pub samples: Vec<SampleEvent>,
+    /// Samples discarded after the retention cap was hit.
+    pub dropped_samples: u64,
+}
+
+impl MetricsSnapshot {
+    /// Value of counter `name` (0 when never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Total nanoseconds accumulated under span/timer `name`.
+    pub fn total_time_ns(&self, name: &str) -> u64 {
+        self.hists.get(name).map(Log2Histogram::sum).unwrap_or(0)
+    }
+}
+
+/// The standard in-memory recorder.
+///
+/// Thread-safe via one internal mutex: the rekey hot paths only record
+/// when observability is explicitly enabled, and even then per-event
+/// critical sections are a few branches and a push.
+#[derive(Debug, Default)]
+pub struct Collector {
+    inner: Mutex<Inner>,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A panic while holding the lock only interrupts metric
+        // recording; the data remains structurally sound.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Copies out everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        MetricsSnapshot {
+            spans: inner.spans.clone(),
+            dropped_spans: inner.dropped_spans,
+            counters: inner.counters.clone(),
+            hists: inner.hists.clone(),
+            samples: inner.samples.clone(),
+            dropped_samples: inner.dropped_samples,
+        }
+    }
+
+    /// Renders the Chrome `trace_event` JSON for everything recorded.
+    pub fn chrome_trace_json(&self) -> String {
+        crate::chrome::render(&self.snapshot())
+    }
+
+    /// Renders the Prometheus-style text dump.
+    pub fn prometheus_text(&self) -> String {
+        crate::prom::render(&self.snapshot())
+    }
+
+    /// Writes the Chrome trace JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_chrome_trace(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.chrome_trace_json())
+    }
+
+    /// Writes the metrics text dump to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_metrics(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.prometheus_text())
+    }
+}
+
+impl Recorder for Collector {
+    fn span(&self, name: &'static str, start_ns: u64, dur_ns: u64, tid: u64) {
+        let mut inner = self.lock();
+        if inner.spans.len() < MAX_SPANS {
+            inner.spans.push(SpanEvent {
+                name,
+                start_ns,
+                dur_ns,
+                tid,
+            });
+        } else {
+            inner.dropped_spans += 1;
+        }
+        inner.hists.entry(name).or_default().record(dur_ns);
+    }
+
+    fn count(&self, name: &'static str, delta: u64) {
+        *self.lock().counters.entry(name).or_insert(0) += delta;
+    }
+
+    fn time(&self, name: &'static str, dur_ns: u64) {
+        self.lock().hists.entry(name).or_default().record(dur_ns);
+    }
+
+    fn sample(&self, name: &'static str, ts_ns: u64, value: f64) {
+        let mut inner = self.lock();
+        if inner.samples.len() < MAX_SAMPLES {
+            inner.samples.push(SampleEvent { name, ts_ns, value });
+        } else {
+            inner.dropped_samples += 1;
+        }
+    }
+
+    fn total_time_ns(&self, name: &str) -> u64 {
+        self.lock()
+            .hists
+            .get(name)
+            .map(Log2Histogram::sum)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_feed_histograms() {
+        let c = Collector::new();
+        c.span("a", 0, 100, 1);
+        c.span("a", 200, 300, 1);
+        c.time("a", 50);
+        let snap = c.snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.hists["a"].count(), 3);
+        assert_eq!(snap.total_time_ns("a"), 450);
+        assert_eq!(c.total_time_ns("a"), 450);
+        assert_eq!(c.total_time_ns("missing"), 0);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let c = Collector::new();
+        c.count("k", 1);
+        c.count("k", 41);
+        assert_eq!(c.snapshot().counter("k"), 42);
+        assert_eq!(c.snapshot().counter("other"), 0);
+    }
+
+    #[test]
+    fn samples_recorded_in_order() {
+        let c = Collector::new();
+        c.sample("g", 10, 1.0);
+        c.sample("g", 20, 2.0);
+        let snap = c.snapshot();
+        assert_eq!(snap.samples.len(), 2);
+        assert_eq!(snap.samples[1].value, 2.0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_safe() {
+        let c = std::sync::Arc::new(Collector::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        c.count("hits", 1);
+                        c.span("work", i, 10, t);
+                    }
+                });
+            }
+        });
+        let snap = c.snapshot();
+        assert_eq!(snap.counter("hits"), 4000);
+        assert_eq!(snap.spans.len(), 4000);
+        assert_eq!(snap.hists["work"].count(), 4000);
+    }
+}

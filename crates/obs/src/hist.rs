@@ -1,0 +1,223 @@
+//! Fixed-bucket log₂ histograms.
+//!
+//! One bucket per power of two (64 buckets cover the full `u64`
+//! range), so recording is O(1) with no allocation and quantiles are
+//! accurate to within a factor of 2 — plenty for "where did the
+//! nanoseconds go" profiling, and cheap enough to sit on hot paths.
+
+/// A histogram with one bucket per power of two of the recorded value.
+///
+/// Bucket `0` holds the value `0`; bucket `i ≥ 1` holds values in
+/// `[2^(i-1), 2^i)`. Count, sum, and exact min/max are tracked on the
+/// side, so `mean()` is exact and quantile estimates are clamped to
+/// the observed range.
+#[derive(Debug, Clone)]
+pub struct Log2Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index of `value`: 0 for 0, else `floor(log2(value)) + 1`.
+    fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`): the geometric
+    /// midpoint of the bucket containing the quantile rank, clamped to
+    /// the observed `[min, max]`. Accurate to within 2×.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            return self.max;
+        }
+        // Rank of the target sample, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let estimate = if i == 0 {
+                    0
+                } else {
+                    // Geometric midpoint of [2^(i-1), 2^i).
+                    let lo = 1u64 << (i - 1);
+                    lo + lo / 2
+                };
+                return estimate.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn exact_stats_tracked() {
+        let mut h = Log2Histogram::new();
+        for v in [10, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 100);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 40);
+        assert_eq!(h.mean(), 25.0);
+    }
+
+    #[test]
+    fn quantiles_within_factor_of_two() {
+        let mut h = Log2Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.5, 500.0), (0.9, 900.0), (0.99, 990.0)] {
+            let est = h.quantile(q) as f64;
+            assert!(
+                est >= exact / 2.0 && est <= exact * 2.0,
+                "q={q}: estimate {est} vs exact {exact}"
+            );
+        }
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(h.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn quantile_clamped_to_observed_range() {
+        let mut h = Log2Histogram::new();
+        h.record(1000);
+        assert_eq!(h.quantile(0.5), 1000);
+        assert_eq!(h.quantile(0.99), 1000);
+    }
+
+    #[test]
+    fn zero_samples_land_in_bucket_zero() {
+        let mut h = Log2Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        a.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.sum(), 505);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 500);
+    }
+}

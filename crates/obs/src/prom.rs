@@ -1,0 +1,106 @@
+//! Prometheus-style text export: counters as `_total` counters,
+//! duration histograms as summaries with log₂-approximate quantiles,
+//! and gauge series as their last sampled value.
+
+use crate::collect::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Maps a dotted metric name (`crypto.chacha20_blocks`) to the
+/// Prometheus charset (`crypto_chacha20_blocks`).
+fn sanitize(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Renders the snapshot in Prometheus text exposition format.
+pub(crate) fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+
+    for (name, value) in &snapshot.counters {
+        let metric = sanitize(name);
+        let _ = writeln!(out, "# TYPE {metric}_total counter");
+        let _ = writeln!(out, "{metric}_total {value}");
+    }
+
+    for (name, hist) in &snapshot.hists {
+        if hist.count() == 0 {
+            continue;
+        }
+        let metric = format!("{}_seconds", sanitize(name));
+        let _ = writeln!(out, "# TYPE {metric} summary");
+        for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99)] {
+            let _ = writeln!(
+                out,
+                "{metric}{{quantile=\"{label}\"}} {:.9}",
+                hist.quantile(q) as f64 / 1e9
+            );
+        }
+        let _ = writeln!(out, "{metric}_sum {:.9}", hist.sum() as f64 / 1e9);
+        let _ = writeln!(out, "{metric}_count {}", hist.count());
+        let _ = writeln!(out, "{metric}_max {:.9}", hist.max() as f64 / 1e9);
+    }
+
+    // Gauge series: export the most recent sample of each name.
+    let mut last: std::collections::BTreeMap<&str, f64> = std::collections::BTreeMap::new();
+    for sample in &snapshot.samples {
+        last.insert(sample.name, sample.value);
+    }
+    for (name, value) in last {
+        let metric = sanitize(name);
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+
+    if snapshot.dropped_spans > 0 || snapshot.dropped_samples > 0 {
+        let _ = writeln!(out, "# TYPE obs_dropped_events_total counter");
+        let _ = writeln!(
+            out,
+            "obs_dropped_events_total {}",
+            snapshot.dropped_spans + snapshot.dropped_samples
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Collector, Recorder};
+
+    #[test]
+    fn counters_and_histograms_render() {
+        let c = Collector::new();
+        c.count("crypto.keywrap.wrap", 7);
+        c.time("rekey.plan", 1_000_000);
+        c.time("rekey.plan", 3_000_000);
+        c.sample("sim.message_bytes", 10, 1234.0);
+        c.sample("sim.message_bytes", 20, 5678.0);
+        let text = c.prometheus_text();
+        assert!(text.contains("crypto_keywrap_wrap_total 7"));
+        assert!(text.contains("# TYPE rekey_plan_seconds summary"));
+        assert!(text.contains("rekey_plan_seconds_count 2"));
+        assert!(text.contains("rekey_plan_seconds_sum 0.004000000"));
+        assert!(text.contains("rekey_plan_seconds{quantile=\"0.5\"}"));
+        // Gauge exports the last sample only.
+        assert!(text.contains("sim_message_bytes 5678"));
+        assert!(!text.contains("1234"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        let c = Collector::new();
+        assert!(c.prometheus_text().is_empty());
+    }
+
+    #[test]
+    fn sanitize_maps_to_prometheus_charset() {
+        assert_eq!(sanitize("a.b-c/d"), "a_b_c_d");
+        assert_eq!(sanitize("0weird"), "_0weird");
+    }
+}

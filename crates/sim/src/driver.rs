@@ -8,10 +8,12 @@ use rekey_core::{GroupKeyManager, IntervalStats, Join};
 use rekey_crypto::Key;
 use rekey_keytree::member::GroupMember;
 use rekey_keytree::MemberId;
+use rekey_obs::Collector;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Simulation configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimConfig {
     /// Measured intervals (after warm-up).
     pub intervals: usize,
@@ -29,6 +31,13 @@ pub struct SimConfig {
     /// sequential). Rekey messages and all reported metrics are
     /// identical for every setting; only wall-clock time changes.
     pub parallelism: usize,
+    /// Write a Chrome `trace_event` JSON trace of the run to this
+    /// path (load it in `about:tracing` or Perfetto). `None` disables
+    /// tracing; the run's reported metrics are identical either way.
+    pub trace: Option<String>,
+    /// Write a Prometheus-style text dump of counters, histograms,
+    /// and gauges to this path after the run.
+    pub metrics: Option<String>,
 }
 
 impl SimConfig {
@@ -40,8 +49,23 @@ impl SimConfig {
             verify_members: false,
             oracle_hints: false,
             parallelism: 1,
+            trace: None,
+            metrics: None,
         }
     }
+}
+
+/// Wall clock spent in each phase of `LkhServer::try_apply_batch`
+/// over a whole run, from the observability recorder. All zeros when
+/// no recorder was active during the run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseBreakdown {
+    /// Tree mutation + fresh key generation (sequential).
+    pub mutate_s: f64,
+    /// Encryption planning (sequential, allocation-free).
+    pub plan_s: f64,
+    /// Encryption execution (parallel), as seen by the caller.
+    pub execute_s: f64,
 }
 
 /// Result of one simulation run.
@@ -56,6 +80,74 @@ pub struct SimReport {
     pub keys_summary: Summary,
     /// Group size at the end of the run.
     pub final_size: usize,
+    /// Per-phase rekey-engine wall clock over the run (zeros without
+    /// an active recorder). Derived from timing, so unlike every other
+    /// field it is *not* deterministic across runs.
+    pub phases: PhaseBreakdown,
+}
+
+/// Phase span names recorded by `rekey_keytree::server::LkhServer`.
+const PHASE_SPANS: [&str; 3] = ["rekey.mutate", "rekey.plan", "rekey.execute"];
+
+/// Observability bookkeeping for one simulation run: installs a
+/// [`Collector`] when the config asks for trace/metrics output,
+/// snapshots pre-run phase totals (a recorder may already be serving
+/// other runs), and on `finish` exports files and computes the run's
+/// phase-breakdown delta.
+struct ObsRun {
+    installed: Option<Arc<Collector>>,
+    base_ns: [u64; 3],
+}
+
+impl ObsRun {
+    fn start(config: &SimConfig) -> Self {
+        let installed = if config.trace.is_some() || config.metrics.is_some() {
+            let collector = Arc::new(Collector::new());
+            rekey_obs::install(collector.clone());
+            Some(collector)
+        } else {
+            None
+        };
+        ObsRun {
+            installed,
+            base_ns: PHASE_SPANS.map(rekey_obs::total_time_ns),
+        }
+    }
+
+    fn finish(self, config: &SimConfig) -> PhaseBreakdown {
+        let delta = |i: usize| {
+            rekey_obs::total_time_ns(PHASE_SPANS[i]).saturating_sub(self.base_ns[i]) as f64 / 1e9
+        };
+        let phases = PhaseBreakdown {
+            mutate_s: delta(0),
+            plan_s: delta(1),
+            execute_s: delta(2),
+        };
+        if let Some(collector) = self.installed {
+            if let Some(path) = &config.trace {
+                collector
+                    .write_chrome_trace(path)
+                    .unwrap_or_else(|e| panic!("writing trace file {path:?}: {e}"));
+            }
+            if let Some(path) = &config.metrics {
+                collector
+                    .write_metrics(path)
+                    .unwrap_or_else(|e| panic!("writing metrics file {path:?}: {e}"));
+            }
+            rekey_obs::uninstall();
+        }
+        phases
+    }
+}
+
+/// Emits the per-interval gauge series (Chrome counter tracks / last
+/// value in the metrics dump). No-ops when no recorder is installed.
+fn sample_interval(stats: &IntervalStats) {
+    rekey_obs::sample("sim.joins", stats.joins as f64);
+    rekey_obs::sample("sim.leaves", stats.leaves as f64);
+    rekey_obs::sample("sim.migrations", stats.migrations as f64);
+    rekey_obs::sample("sim.encrypted_keys", stats.encrypted_keys as f64);
+    rekey_obs::sample("sim.message_bytes", stats.message_bytes as f64);
 }
 
 /// Runs `manager` over `generator`'s workload.
@@ -75,6 +167,7 @@ pub fn run_scheme<R: Rng>(
     let mut states: BTreeMap<MemberId, GroupMember> = BTreeMap::new();
     let mut measured: Vec<IntervalStats> = Vec::with_capacity(config.intervals);
     manager.set_parallelism(config.parallelism);
+    let obs = ObsRun::start(config);
 
     // Admit the pre-populated steady-state members in one bootstrap
     // interval (excluded from measurement).
@@ -101,6 +194,7 @@ pub fn run_scheme<R: Rng>(
     for step in 0..(config.warmup + config.intervals) {
         let events = generator.next_interval(rng);
         let out = apply_interval(manager, &events, config, &mut states, rng);
+        sample_interval(&out);
         if config.verify_members {
             verify(manager, &states, &events.leaves);
             // Drop departed members' states to keep memory bounded.
@@ -113,6 +207,7 @@ pub fn run_scheme<R: Rng>(
         }
     }
 
+    let phases = obs.finish(config);
     let series: Vec<f64> = measured.iter().map(|s| s.encrypted_keys as f64).collect();
     let keys_summary = Summary::of(&series);
     SimReport {
@@ -120,6 +215,7 @@ pub fn run_scheme<R: Rng>(
         intervals: measured,
         keys_summary,
         final_size: manager.member_count(),
+        phases,
     }
 }
 
@@ -229,6 +325,7 @@ where
     use rekey_transport::wka_bkr::{self, WkaBkrConfig};
 
     manager.set_parallelism(config.parallelism);
+    let obs = ObsRun::start(config);
     let mut losses: BTreeMap<MemberId, f64> = BTreeMap::new();
     let assign = |losses: &mut BTreeMap<MemberId, f64>, m: MemberId, rng: &mut R| {
         let p = if rng.gen::<f64>() < high_fraction {
@@ -269,6 +366,7 @@ where
             losses.remove(m);
         }
 
+        sample_interval(&out.stats);
         let interest = interest_map(&out.message, |node| manager.members_under(node));
         let pop = Population::from_map(
             interest
@@ -290,6 +388,7 @@ where
         }
     }
 
+    let phases = obs.finish(config);
     let series: Vec<f64> = measured.iter().map(|s| s.encrypted_keys as f64).collect();
     let keys_summary = Summary::of(&series);
     let n = measured.len().max(1) as f64;
@@ -299,6 +398,7 @@ where
             intervals: measured,
             keys_summary,
             final_size: manager.member_count(),
+            phases,
         },
         mean_transport_keys: transport_keys as f64 / n,
         mean_rounds: rounds as f64 / n,
@@ -348,8 +448,7 @@ mod tests {
             intervals: 10,
             warmup: 2,
             verify_members: true,
-            oracle_hints: false,
-            parallelism: 1,
+            ..SimConfig::quick()
         };
         let report = run_scheme(&mut mgr, &mut gen, &cfg, &mut rng);
         assert!(report.mean_keys_per_interval > 0.0);
@@ -365,8 +464,7 @@ mod tests {
             intervals: 12,
             warmup: 3,
             verify_members: true,
-            oracle_hints: false,
-            parallelism: 1,
+            ..SimConfig::quick()
         };
         let report = run_scheme(&mut mgr, &mut gen, &cfg, &mut rng);
         assert!(report.final_size > 0);
@@ -381,8 +479,7 @@ mod tests {
             intervals: 12,
             warmup: 3,
             verify_members: true,
-            oracle_hints: false,
-            parallelism: 1,
+            ..SimConfig::quick()
         };
         run_scheme(&mut mgr, &mut gen, &cfg, &mut rng);
     }

@@ -1,0 +1,166 @@
+//! Integration tests for the observability pipeline: a real simulation
+//! run must export a valid, balanced Chrome trace and a metrics dump,
+//! and turning the recorder on must not change a single reported
+//! number (the determinism guard, mirroring the engine's byte-identical
+//! parallelism property).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rekey_core::partition::TtManager;
+use rekey_sim::driver::{run_scheme, SimConfig, SimReport};
+use rekey_sim::membership::{MembershipGenerator, MembershipParams};
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard};
+
+/// The global recorder is process-wide state; tests that install one
+/// must not overlap.
+fn global_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("rekey-obs-it-{}-{name}", std::process::id()))
+}
+
+fn params() -> MembershipParams {
+    MembershipParams {
+        target_size: 300,
+        ..MembershipParams::paper_default()
+    }
+}
+
+fn run(config: &SimConfig) -> SimReport {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let mut generator = MembershipGenerator::new(params(), &mut rng);
+    let mut manager = TtManager::new(4, 5);
+    run_scheme(&mut manager, &mut generator, config, &mut rng)
+}
+
+#[test]
+fn sim_run_exports_valid_trace_and_metrics() {
+    let _guard = global_lock();
+    let trace_path = scratch("trace.json");
+    let metrics_path = scratch("metrics.prom");
+    let config = SimConfig {
+        intervals: 8,
+        warmup: 2,
+        parallelism: 2,
+        trace: Some(trace_path.to_string_lossy().into_owned()),
+        metrics: Some(metrics_path.to_string_lossy().into_owned()),
+        ..SimConfig::quick()
+    };
+    let report = run(&config);
+
+    // The trace validates: well-formed JSON, balanced begin/end per
+    // thread, counters with numeric values.
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file written");
+    let summary = rekey_obs::chrome::validate_trace(&trace).expect("exported trace is valid");
+    assert_eq!(summary.begin_events, summary.end_events);
+    assert!(summary.begin_events > 0, "trace has no spans");
+
+    // Every engine phase shows up, including the parallel workers.
+    for phase in [
+        "rekey.batch",
+        "rekey.mutate",
+        "rekey.plan",
+        "rekey.execute",
+        "rekey.execute.worker",
+    ] {
+        assert!(
+            summary.span_names.contains(phase),
+            "span {phase:?} missing from trace (have {:?})",
+            summary.span_names
+        );
+    }
+    // Per-interval gauge tracks ride along as counter events.
+    for track in [
+        "sim.joins",
+        "sim.leaves",
+        "sim.encrypted_keys",
+        "sim.message_bytes",
+    ] {
+        assert!(
+            summary.counter_names.contains(track),
+            "counter {track:?} missing from trace"
+        );
+    }
+
+    // The metrics dump carries the crypto counters and the bandwidth
+    // gauges in Prometheus text form.
+    let metrics = std::fs::read_to_string(&metrics_path).expect("metrics file written");
+    for needle in [
+        "crypto_chacha20_blocks_total",
+        "crypto_hmac_total",
+        "crypto_keywrap_wrap_total",
+        "rekey_encrypted_keys_total",
+        "rekey_execute_seconds",
+        "sim_message_bytes",
+    ] {
+        assert!(
+            metrics.contains(needle),
+            "metrics dump missing {needle}:\n{metrics}"
+        );
+    }
+
+    // The run itself measured something, and the recorder saw the
+    // phases it reports on.
+    assert!(report.mean_keys_per_interval > 0.0);
+    assert!(report.phases.execute_s > 0.0, "execute phase unobserved");
+
+    let _ = std::fs::remove_file(&trace_path);
+    let _ = std::fs::remove_file(&metrics_path);
+}
+
+#[test]
+fn tracing_does_not_change_reported_numbers() {
+    let _guard = global_lock();
+    let trace_path = scratch("determinism-trace.json");
+    let plain = run(&SimConfig {
+        intervals: 8,
+        warmup: 2,
+        ..SimConfig::quick()
+    });
+    let traced = run(&SimConfig {
+        intervals: 8,
+        warmup: 2,
+        trace: Some(trace_path.to_string_lossy().into_owned()),
+        ..SimConfig::quick()
+    });
+
+    // Everything except the wall-clock phase breakdown is identical.
+    assert_eq!(plain.intervals, traced.intervals);
+    assert_eq!(plain.mean_keys_per_interval, traced.mean_keys_per_interval);
+    assert_eq!(plain.keys_summary, traced.keys_summary);
+    assert_eq!(plain.final_size, traced.final_size);
+    // The plain run had no recorder, so its breakdown is all zeros.
+    assert_eq!(plain.phases.mutate_s, 0.0);
+    assert_eq!(plain.phases.plan_s, 0.0);
+    assert_eq!(plain.phases.execute_s, 0.0);
+
+    let _ = std::fs::remove_file(&trace_path);
+}
+
+#[test]
+fn message_bytes_accompany_encrypted_keys() {
+    // No recorder needed: the wire-size stat is part of the normal
+    // report and must be consistent with the key count.
+    let report = run(&SimConfig {
+        intervals: 6,
+        warmup: 2,
+        ..SimConfig::quick()
+    });
+    for stats in &report.intervals {
+        if stats.encrypted_keys > 0 {
+            assert!(
+                stats.message_bytes > stats.encrypted_keys,
+                "message bytes ({}) should exceed the key count ({}) — every entry carries \
+                 a header plus a wrapped key",
+                stats.message_bytes,
+                stats.encrypted_keys
+            );
+        } else {
+            assert_eq!(stats.message_bytes, 0);
+        }
+    }
+}

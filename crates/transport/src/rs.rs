@@ -103,6 +103,7 @@ impl ReedSolomon {
 
     /// Computes all `m` parity shards.
     pub fn encode(&self, data: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        let _span = rekey_obs::span!("transport.rs.encode");
         (0..self.m).map(|i| self.parity_shard(data, i)).collect()
     }
 
@@ -117,6 +118,7 @@ impl ReedSolomon {
     /// [`RsError::NotEnoughShards`] if fewer than `k` shards are
     /// present; [`RsError::Malformed`] if lengths are inconsistent.
     pub fn reconstruct(&self, shards: &[Option<Vec<u8>>]) -> Result<Vec<Vec<u8>>, RsError> {
+        let _span = rekey_obs::span!("transport.rs.reconstruct");
         if shards.len() != self.k + self.m {
             return Err(RsError::Malformed);
         }

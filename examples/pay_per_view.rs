@@ -30,9 +30,8 @@ fn simulate(manager: &mut dyn GroupKeyManager, oracle: bool) -> f64 {
     let config = SimConfig {
         intervals: 40,
         warmup: 15,
-        verify_members: false,
         oracle_hints: oracle,
-        parallelism: 1,
+        ..SimConfig::quick()
     };
     let mut rng = StdRng::seed_from_u64(SEED);
     let mut generator = MembershipGenerator::new(params, &mut rng);

@@ -183,7 +183,7 @@ fn simulated_sessions_stay_synchronized() {
         warmup: 3,
         verify_members: true,
         oracle_hints: true,
-        parallelism: 1,
+        ..SimConfig::quick()
     };
     let managers: Vec<Box<dyn GroupKeyManager>> = vec![
         Box::new(OneTreeManager::new(4)),

@@ -40,9 +40,7 @@ fn simulate(manager: &mut dyn GroupKeyManager) -> f64 {
     let config = SimConfig {
         intervals: 50,
         warmup: 15,
-        verify_members: false,
-        oracle_hints: false,
-        parallelism: 1,
+        ..SimConfig::quick()
     };
     run_scheme(manager, &mut generator, &config, &mut rng).mean_keys_per_interval
 }
