@@ -134,7 +134,7 @@ fn ablation_packing() {
         .map(MemberId)
         .filter(|m| !leavers.contains(m))
         .collect();
-    let interest = interest_map(&out.message, |n| server.members_under(n));
+    let interest = interest_map(&out.message, |n, out| server.members_under_into(n, out));
 
     let mut results = Vec::new();
     for (label, packing) in [

@@ -90,7 +90,9 @@ fn run<M: GroupKeyManager>(
         }
 
         // Deliver the interval's message over the lossy channel.
-        let interest = interest_map(&out.message, |node| manager.members_under(node));
+        let interest = interest_map(&out.message, |node, out| {
+            manager.members_under_into(node, out)
+        });
         let pop = Population::from_map(
             interest
                 .keys()

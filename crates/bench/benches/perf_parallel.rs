@@ -2,6 +2,11 @@
 //! rekey batch at 1/2/4/8 encryption workers for several group sizes,
 //! written to `BENCH_parallel.json` at the workspace root.
 //!
+//! Two scenarios: a single LKH tree (workers split one tree's plan
+//! into chunks) and a four-tree loss-homogenized forest through the
+//! unified engine (workers execute whole trees concurrently — the
+//! cross-tree fan-out path).
+//!
 //! The engine guarantees byte-identical output for every worker count
 //! (asserted here as well), so the only thing that may change with
 //! `--threads` is time. Speedups require physical cores: on a 1-core
@@ -10,6 +15,8 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rekey_core::loss_forest::LossForestManager;
+use rekey_core::{GroupKeyManager, Join};
 use rekey_crypto::Key;
 use rekey_keytree::server::LkhServer;
 use rekey_keytree::MemberId;
@@ -20,7 +27,11 @@ const GROUP_SIZES: [u64; 3] = [4096, 16384, 65536];
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const REPS: usize = 5;
 
+/// Loss-class boundaries for the cross-tree scenario: four trees.
+const BOUNDARIES: [f64; 3] = [0.25, 0.5, 0.75];
+
 struct Sample {
+    scenario: &'static str,
     n: u64,
     workers: usize,
     encrypted_keys: usize,
@@ -48,6 +59,42 @@ fn churn(n: u64) -> (Vec<(MemberId, Key)>, Vec<MemberId>) {
     let leavers: Vec<MemberId> = (0..each).map(|i| MemberId((i * stride) % n)).collect();
     let joins: Vec<(MemberId, Key)> = (0..each)
         .map(|i| (MemberId(1_000_000 + i), Key::generate(&mut rng)))
+        .collect();
+    (joins, leavers)
+}
+
+/// Representative loss rate for class `c` under [`BOUNDARIES`].
+fn class_loss(c: u64) -> f64 {
+    [0.1, 0.3, 0.6, 0.9][(c % 4) as usize]
+}
+
+/// A four-tree loss-homogenized forest with members striped across all
+/// classes — the engine's cross-tree fan-out path, where whole trees
+/// (not chunks of one plan) are executed by parallel workers.
+fn build_forest(n: u64) -> LossForestManager {
+    let mut rng = StdRng::seed_from_u64(n ^ 0xF0);
+    let mut manager = LossForestManager::new(4, &BOUNDARIES);
+    let joins: Vec<Join> = (0..n)
+        .map(|i| Join::new(MemberId(i), Key::generate(&mut rng)).with_loss_rate(class_loss(i)))
+        .collect();
+    manager
+        .process_interval(&joins, &[], &mut rng)
+        .expect("forest seed interval");
+    manager
+}
+
+/// Churn for the forest scenario: leavers and joiners striped across
+/// every loss class, so all four trees carry planned work.
+fn forest_churn(n: u64) -> (Vec<Join>, Vec<MemberId>) {
+    let mut rng = StdRng::seed_from_u64(n ^ 0xBEEF);
+    let each = (n / 32).max(8);
+    let stride = (n / each) | 1;
+    let leavers: Vec<MemberId> = (0..each).map(|i| MemberId((i * stride) % n)).collect();
+    let joins: Vec<Join> = (0..each)
+        .map(|i| {
+            Join::new(MemberId(2_000_000 + i), Key::generate(&mut rng))
+                .with_loss_rate(class_loss(i))
+        })
         .collect();
     (joins, leavers)
 }
@@ -128,11 +175,64 @@ fn main() {
             }
             let speedup = seq_min / min_s;
             println!(
-                "n={n:>6} workers={workers}  min {:>9.3} ms  mean {:>9.3} ms  {encrypted_keys} keys  speedup {speedup:>5.2}x",
+                "single-tree n={n:>6} workers={workers}  min {:>9.3} ms  mean {:>9.3} ms  {encrypted_keys} keys  speedup {speedup:>5.2}x",
                 min_s * 1e3,
                 mean_s * 1e3
             );
             samples.push(Sample {
+                scenario: "single-tree",
+                n,
+                workers,
+                encrypted_keys,
+                mean_s,
+                min_s,
+                speedup_vs_seq: speedup,
+            });
+        }
+    }
+
+    // Cross-tree fan-out: a four-tree loss forest through the unified
+    // engine, where parallelism distributes whole trees across workers
+    // (each tree's plan was drawn sequentially, so output bytes are
+    // pinned regardless of worker count — asserted below).
+    for n in GROUP_SIZES {
+        let base = build_forest(n);
+        let (joins, leavers) = forest_churn(n);
+        let mut seq_min = 0.0f64;
+        let mut reference = None;
+        for workers in WORKER_COUNTS {
+            let mut times = Vec::with_capacity(REPS);
+            let mut encrypted_keys = 0;
+            for rep in 0..REPS {
+                let mut manager = base.clone();
+                manager.set_parallelism(workers);
+                let mut rng = StdRng::seed_from_u64(11 + rep as u64);
+                let start = Instant::now();
+                let out = manager
+                    .process_interval(&joins, &leavers, &mut rng)
+                    .expect("forest churn interval");
+                times.push(start.elapsed().as_secs_f64());
+                encrypted_keys = out.stats.encrypted_keys;
+                if rep == 0 {
+                    match &reference {
+                        None => reference = Some(out.message),
+                        Some(msg) => assert_eq!(msg, &out.message, "output diverged"),
+                    }
+                }
+            }
+            let min_s = times.iter().cloned().fold(f64::INFINITY, f64::min);
+            let mean_s = times.iter().sum::<f64>() / times.len() as f64;
+            if workers == 1 {
+                seq_min = min_s;
+            }
+            let speedup = seq_min / min_s;
+            println!(
+                "cross-tree  n={n:>6} workers={workers}  min {:>9.3} ms  mean {:>9.3} ms  {encrypted_keys} keys  speedup {speedup:>5.2}x",
+                min_s * 1e3,
+                mean_s * 1e3
+            );
+            samples.push(Sample {
+                scenario: "cross-tree-forest",
                 n,
                 workers,
                 encrypted_keys,
@@ -163,8 +263,8 @@ fn main() {
         let sep = if i + 1 == samples.len() { "" } else { "," };
         let _ = writeln!(
             json,
-            "    {{\"n\": {}, \"workers\": {}, \"encrypted_keys\": {}, \"min_s\": {:.6}, \"mean_s\": {:.6}, \"speedup_vs_seq\": {:.3}}}{sep}",
-            s.n, s.workers, s.encrypted_keys, s.min_s, s.mean_s, s.speedup_vs_seq
+            "    {{\"scenario\": \"{}\", \"n\": {}, \"workers\": {}, \"encrypted_keys\": {}, \"min_s\": {:.6}, \"mean_s\": {:.6}, \"speedup_vs_seq\": {:.3}}}{sep}",
+            s.scenario, s.n, s.workers, s.encrypted_keys, s.min_s, s.mean_s, s.speedup_vs_seq
         );
     }
     json.push_str("  ]\n}\n");

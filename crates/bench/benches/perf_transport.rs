@@ -53,7 +53,7 @@ fn bench_wka_delivery(c: &mut Criterion) {
         .map(MemberId)
         .filter(|m| !leavers.contains(m))
         .collect();
-    let interest = interest_map(&out.message, |n| server.members_under(n));
+    let interest = interest_map(&out.message, |n, out| server.members_under_into(n, out));
     let pop = Population::homogeneous(&present, 0.05);
 
     c.bench_function("wka_bkr_delivery_n1024_l16_p5", |b| {
@@ -72,7 +72,7 @@ fn bench_wka_delivery(c: &mut Criterion) {
     });
 
     c.bench_function("interest_map_n1024", |b| {
-        b.iter(|| interest_map(&out.message, |n| server.members_under(n)))
+        b.iter(|| interest_map(&out.message, |n, out| server.members_under_into(n, out)))
     });
 }
 

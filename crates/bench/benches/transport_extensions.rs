@@ -67,7 +67,7 @@ fn multigroup_fairness() {
     for seed in 0..runs {
         let mut rng = StdRng::seed_from_u64(seed);
         let (server, message, present) = churned_tree(n, l, 0, &mut rng);
-        let interest = interest_map(&message, |node| server.members_under(node));
+        let interest = interest_map(&message, |node, out| server.members_under_into(node, out));
         let pop = Population::two_point(&present, alpha, p_high, p_low, &mut rng);
         let outcome = wka_bkr::deliver(
             &message,
@@ -91,7 +91,7 @@ fn multigroup_fairness() {
         let n_low = ((1.0 - alpha) * n as f64) as u64;
         let l_low = ((1.0 - alpha) * l as f64).round() as u64;
         let (server, message, present) = churned_tree(n_low, l_low.max(1), 0, &mut rng);
-        let interest = interest_map(&message, |node| server.members_under(node));
+        let interest = interest_map(&message, |node, out| server.members_under_into(node, out));
         let pop = Population::homogeneous(&present, p_low);
         let outcome = wka_bkr::deliver(
             &message,
@@ -147,7 +147,7 @@ fn fec_deadline_sweep() {
         for seed in 0..runs {
             let mut rng = StdRng::seed_from_u64(7_000 + seed);
             let (server, message, present) = churned_tree(1024, 16, 0, &mut rng);
-            let interest = interest_map(&message, |node| server.members_under(node));
+            let interest = interest_map(&message, |node, out| server.members_under_into(node, out));
             let pop = Population::two_point(&present, 0.2, 0.2, 0.02, &mut rng);
             let cfg = fec::FecConfig {
                 proactivity: rho,

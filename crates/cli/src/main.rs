@@ -6,7 +6,7 @@
 //!     Evaluate the §3.3.1 analytic model: per-interval cost of the
 //!     one-keytree / TT / QT / PT schemes.
 //!
-//! rekey simulate  [--scheme one|tt|qt|pt|forest] [--n 2048] [--k 10]
+//! rekey simulate  [--scheme one|tt|qt|pt|forest|combined] [--n 2048] [--k 10]
 //!                 [--alpha 0.8] [--intervals 40] [--warmup 15]
 //!                 [--seed 42] [--verify] [--threads 1]
 //!                 [--trace out.trace.json] [--metrics out.prom]
@@ -41,6 +41,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rekey_analytic::partition::PartitionParams;
 use rekey_core::adaptive::{recommend, MixtureEstimate};
+use rekey_core::combined::CombinedManager;
 use rekey_core::loss_forest::LossForestManager;
 use rekey_core::one_tree::OneTreeManager;
 use rekey_core::partition::{PtManager, QtManager, TtManager};
@@ -159,6 +160,7 @@ fn cmd_simulate(args: &Args) -> CliResult {
         "qt" => Box::new(QtManager::new(4, k)),
         "pt" => Box::new(PtManager::new(4)),
         "forest" => Box::new(LossForestManager::two_trees(4)),
+        "combined" => Box::new(CombinedManager::two_loss_classes(4, k)),
         other => return Err(format!("unknown scheme {other:?}").into()),
     };
 
@@ -264,7 +266,9 @@ fn cmd_transport(args: &Args) -> CliResult {
         .map(MemberId)
         .filter(|m| !leavers.contains(m))
         .collect();
-    let interest = interest_map(&out.message, |node| server.members_under(node));
+    let interest = interest_map(&out.message, |node, out| {
+        server.members_under_into(node, out)
+    });
     let pop = Population::two_point(&present, alpha, ph, pl, &mut rng);
 
     println!(

@@ -14,27 +14,27 @@
 //! L-trees stay loss-homogeneous, so both of the paper's savings
 //! compose.
 
-use crate::dek::DekState;
-use crate::loss_forest::LossEstimator;
-use crate::{GroupKeyManager, IntervalOutcome, IntervalStats, Join};
-use rand::RngCore;
+use crate::engine::{Migration, Placement, PlacementPolicy, RekeyEngine, Trees};
+use crate::loss_forest::{check_boundaries, class_of_loss, LossEstimator};
+use crate::Join;
 use rekey_crypto::Key;
-use rekey_keytree::message::RekeyMessage;
 use rekey_keytree::server::LkhServer;
-use rekey_keytree::{KeyTreeError, MemberId, NodeId};
+use rekey_keytree::{KeyTreeError, MemberId};
 use std::collections::BTreeMap;
 
 const NS_DEK: u32 = 1;
 const NS_S: u32 = 2;
 const NS_L0: u32 = 16;
 
-/// Two-partition + loss-homogenized group key manager (§3 + §4).
+/// Tree index of the S-partition; L-class `c` is tree `1 + c`.
+const S: usize = 0;
+
+/// Placement for the combined scheme: joiners enter the S-tree,
+/// S-period survivors migrate into the L-tree of their estimated loss
+/// class.
 #[derive(Debug, Clone)]
-pub struct CombinedManager {
-    dek: DekState,
-    s: LkhServer,
+pub struct CombinedPolicy {
     boundaries: Vec<f64>,
-    l_trees: Vec<LkhServer>,
     s_ages: BTreeMap<MemberId, u64>,
     s_keys: BTreeMap<MemberId, Key>,
     /// Loss hints provided at join time (fallback when no feedback has
@@ -43,8 +43,81 @@ pub struct CombinedManager {
     estimator: LossEstimator,
     min_samples: u64,
     k: u64,
-    epoch: u64,
 }
+
+impl CombinedPolicy {
+    fn class_for(&self, member: MemberId) -> usize {
+        let loss = self
+            .estimator
+            .estimate(member, self.min_samples)
+            .or_else(|| self.join_hints.get(&member).copied())
+            .unwrap_or(0.0);
+        class_of_loss(&self.boundaries, loss)
+    }
+}
+
+impl PlacementPolicy for CombinedPolicy {
+    fn scheme_name(&self) -> &'static str {
+        "combined-partition-forest"
+    }
+
+    fn route_leave(&mut self, member: MemberId, trees: &Trees) -> Result<Placement, KeyTreeError> {
+        if trees.server(S).contains(member) {
+            self.s_ages.remove(&member);
+            self.s_keys.remove(&member);
+            self.join_hints.remove(&member);
+            return Ok(Placement::Tree(S));
+        }
+        for i in 1..trees.len() {
+            if trees.server(i).contains(member) {
+                self.join_hints.remove(&member);
+                return Ok(Placement::Tree(i));
+            }
+        }
+        Err(KeyTreeError::UnknownMember(member))
+    }
+
+    fn plan_migrations(&mut self, epoch: u64, _trees: &Trees) -> Vec<Migration> {
+        // S-period survivors, placed by estimated loss.
+        let deadline = epoch.saturating_sub(self.k);
+        let migrating: Vec<MemberId> = self
+            .s_ages
+            .iter()
+            .filter(|&(_, &joined)| joined <= deadline)
+            .map(|(&m, _)| m)
+            .collect();
+        migrating
+            .into_iter()
+            .map(|m| {
+                self.s_ages.remove(&m);
+                Migration {
+                    member: m,
+                    individual_key: self.s_keys.remove(&m).expect("S-member has a key"),
+                    from: Some(S),
+                    to: 1 + self.class_for(m),
+                }
+            })
+            .collect()
+    }
+
+    fn route_join(&self, _join: &Join, _trees: &Trees) -> Placement {
+        Placement::Tree(S)
+    }
+
+    fn record_joins(&mut self, joins: &[Join], epoch: u64) -> Result<(), KeyTreeError> {
+        for j in joins {
+            self.s_ages.insert(j.member, epoch);
+            self.s_keys.insert(j.member, j.individual_key.clone());
+            if let Some(loss) = j.hint.loss_rate {
+                self.join_hints.insert(j.member, loss);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Two-partition + loss-homogenized group key manager (§3 + §4).
+pub type CombinedManager = RekeyEngine<CombinedPolicy>;
 
 impl CombinedManager {
     /// Creates the manager: `degree`-ary trees, S-period `k`
@@ -56,29 +129,28 @@ impl CombinedManager {
     /// Panics if `degree < 2` or `boundaries` is not strictly
     /// increasing within `(0, 1)`.
     pub fn new(degree: usize, k: u64, boundaries: &[f64]) -> Self {
-        let mut prev = 0.0;
-        for &b in boundaries {
-            assert!(
-                b > prev && b < 1.0,
-                "class boundaries must be strictly increasing in (0, 1)"
-            );
-            prev = b;
-        }
-        CombinedManager {
-            dek: DekState::new(NS_DEK),
-            s: LkhServer::new(degree, NS_S),
-            boundaries: boundaries.to_vec(),
-            l_trees: (0..=boundaries.len())
-                .map(|i| LkhServer::new(degree, NS_L0 + i as u32))
-                .collect(),
-            s_ages: BTreeMap::new(),
-            s_keys: BTreeMap::new(),
-            join_hints: BTreeMap::new(),
-            estimator: LossEstimator::new(),
-            min_samples: 20,
-            k,
-            epoch: 0,
-        }
+        check_boundaries(boundaries);
+        let l_names: Vec<String> = (0..=boundaries.len()).map(|i| format!("l{i}")).collect();
+        let mut trees = vec![("s", LkhServer::new(degree, NS_S))];
+        trees.extend(
+            l_names
+                .iter()
+                .map(String::as_str)
+                .zip((0..=boundaries.len()).map(|i| LkhServer::new(degree, NS_L0 + i as u32))),
+        );
+        RekeyEngine::with_trees(
+            CombinedPolicy {
+                boundaries: boundaries.to_vec(),
+                s_ages: BTreeMap::new(),
+                s_keys: BTreeMap::new(),
+                join_hints: BTreeMap::new(),
+                estimator: LossEstimator::new(),
+                min_samples: 20,
+                k,
+            },
+            trees,
+            Some(NS_DEK),
+        )
     }
 
     /// The paper's default shape: two L-trees split at 5% loss.
@@ -90,25 +162,17 @@ impl CombinedManager {
     /// `rekey_transport::wka_bkr::WkaBkrOutcome::lost_packets`): the
     /// member observed `lost` of `seen` packets missing.
     pub fn record_feedback(&mut self, member: MemberId, lost: u64, seen: u64) {
-        self.estimator.record(member, lost, seen);
+        self.policy_mut().estimator.record(member, lost, seen);
     }
 
     /// The loss class a member would be placed into right now.
     pub fn class_for(&self, member: MemberId) -> usize {
-        let loss = self
-            .estimator
-            .estimate(member, self.min_samples)
-            .or_else(|| self.join_hints.get(&member).copied())
-            .unwrap_or(0.0);
-        self.boundaries
-            .iter()
-            .position(|&b| loss <= b)
-            .unwrap_or(self.boundaries.len())
+        self.policy().class_for(member)
     }
 
     /// Current S-partition population.
     pub fn s_count(&self) -> usize {
-        self.s.member_count()
+        self.tree(S).member_count()
     }
 
     /// Population of L-class `class`.
@@ -117,164 +181,14 @@ impl CombinedManager {
     ///
     /// Panics if `class` is out of range.
     pub fn l_class_size(&self, class: usize) -> usize {
-        self.l_trees[class].member_count()
-    }
-}
-
-impl GroupKeyManager for CombinedManager {
-    fn process_interval(
-        &mut self,
-        joins: &[Join],
-        leaves: &[MemberId],
-        mut rng: &mut dyn RngCore,
-    ) -> Result<IntervalOutcome, KeyTreeError> {
-        self.epoch += 1;
-
-        // Route departures.
-        let mut s_leaves: Vec<MemberId> = Vec::new();
-        let mut l_leaves: Vec<Vec<MemberId>> = vec![Vec::new(); self.l_trees.len()];
-        'leaves: for &m in leaves {
-            if self.s.contains(m) {
-                s_leaves.push(m);
-                self.s_ages.remove(&m);
-                self.s_keys.remove(&m);
-                self.join_hints.remove(&m);
-                continue;
-            }
-            for (i, tree) in self.l_trees.iter().enumerate() {
-                if tree.contains(m) {
-                    l_leaves[i].push(m);
-                    self.join_hints.remove(&m);
-                    continue 'leaves;
-                }
-            }
-            return Err(KeyTreeError::UnknownMember(m));
-        }
-
-        // Migrations: S-period survivors, placed by estimated loss.
-        let deadline = self.epoch.saturating_sub(self.k);
-        let migrating: Vec<MemberId> = self
-            .s_ages
-            .iter()
-            .filter(|&(_, &joined)| joined <= deadline)
-            .map(|(&m, _)| m)
-            .collect();
-        let mut l_joins: Vec<Vec<(MemberId, Key)>> = vec![Vec::new(); self.l_trees.len()];
-        for m in &migrating {
-            self.s_ages.remove(m);
-            let ik = self.s_keys.remove(m).expect("S-member has a key");
-            l_joins[self.class_for(*m)].push((*m, ik));
-        }
-
-        // S-batch: joins in, departures + migrations out.
-        let s_joins: Vec<(MemberId, Key)> = joins
-            .iter()
-            .map(|j| (j.member, j.individual_key.clone()))
-            .collect();
-        let mut s_removals = s_leaves.clone();
-        s_removals.extend(&migrating);
-        let s_out = self.s.try_apply_batch(&s_joins, &s_removals, &mut rng)?;
-
-        let mut message = RekeyMessage::new(self.epoch);
-        message.merge(s_out.message);
-        for (i, tree) in self.l_trees.iter_mut().enumerate() {
-            let out = tree.try_apply_batch(&l_joins[i], &l_leaves[i], &mut rng)?;
-            message.merge(out.message);
-        }
-
-        for j in joins {
-            self.s_ages.insert(j.member, self.epoch);
-            self.s_keys.insert(j.member, j.individual_key.clone());
-            if let Some(loss) = j.hint.loss_rate {
-                self.join_hints.insert(j.member, loss);
-            }
-        }
-
-        // DEK under every occupied root.
-        self.dek.refresh(rng);
-        let roots: Vec<&LkhServer> = std::iter::once(&self.s)
-            .chain(self.l_trees.iter())
-            .filter(|t| t.member_count() > 0)
-            .collect();
-        for tree in roots {
-            message.entries.push(self.dek.wrap_under(
-                tree.root_node(),
-                tree.root_version(),
-                tree.root_key(),
-                false,
-                None,
-                tree.member_count() as u32,
-                rng,
-            ));
-        }
-
-        Ok(IntervalOutcome {
-            stats: IntervalStats {
-                joins: joins.len(),
-                leaves: leaves.len(),
-                migrations: migrating.len(),
-                encrypted_keys: message.encrypted_key_count(),
-                message_bytes: message.byte_len(),
-            },
-            message,
-        })
-    }
-
-    fn set_parallelism(&mut self, workers: usize) {
-        self.s.set_parallelism(workers);
-        for tree in &mut self.l_trees {
-            tree.set_parallelism(workers);
-        }
-    }
-
-    fn dek_node(&self) -> NodeId {
-        self.dek.node
-    }
-
-    fn dek(&self) -> &Key {
-        &self.dek.key
-    }
-
-    fn member_count(&self) -> usize {
-        self.s.member_count()
-            + self
-                .l_trees
-                .iter()
-                .map(LkhServer::member_count)
-                .sum::<usize>()
-    }
-
-    fn contains(&self, member: MemberId) -> bool {
-        self.s.contains(member) || self.l_trees.iter().any(|t| t.contains(member))
-    }
-
-    fn members_under(&self, node: NodeId) -> Vec<MemberId> {
-        if node == self.dek.node {
-            let mut all = self.s.members_under(self.s.root_node());
-            for t in &self.l_trees {
-                all.extend(t.members_under(t.root_node()));
-            }
-            return all;
-        }
-        if node.namespace() == NS_S {
-            return self.s.members_under(node);
-        }
-        for tree in &self.l_trees {
-            if node.namespace() == tree.tree().namespace() {
-                return tree.members_under(node);
-            }
-        }
-        Vec::new()
-    }
-
-    fn scheme_name(&self) -> &'static str {
-        "combined-partition-forest"
+        self.tree(1 + class).member_count()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::GroupKeyManager;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use rekey_keytree::member::GroupMember;
@@ -308,7 +222,8 @@ mod tests {
 
         // Advance past the S-period so everyone migrates.
         mgr.process_interval(&[], &[], &mut rng).unwrap();
-        mgr.process_interval(&[], &[], &mut rng).unwrap();
+        let out = mgr.process_interval(&[], &[], &mut rng).unwrap();
+        assert_eq!(out.stats.migrations, 6);
         assert_eq!(mgr.s_count(), 0);
         assert_eq!(mgr.l_class_size(0), 3, "clean members in the low tree");
         assert_eq!(mgr.l_class_size(1), 3, "lossy members in the high tree");
@@ -341,47 +256,6 @@ mod tests {
         mgr.record_feedback(MemberId(0), 30, 100);
         mgr.process_interval(&[], &[], &mut rng).unwrap();
         assert_eq!(mgr.l_class_size(1), 1);
-    }
-
-    #[test]
-    fn end_to_end_secrecy_with_migrations() {
-        let mut rng = StdRng::seed_from_u64(4);
-        let mut mgr = CombinedManager::two_loss_classes(3, 2);
-        let (js, mut states) = joins(0..20, &mut rng);
-        let out = mgr.process_interval(&js, &[], &mut rng).unwrap();
-        for s in &mut states {
-            s.process(&out.message).unwrap();
-        }
-        for i in 0..10u64 {
-            mgr.record_feedback(MemberId(i), 25, 100);
-            mgr.record_feedback(MemberId(i + 10), 2, 100);
-        }
-
-        let mut departed = Vec::new();
-        for round in 0..6u64 {
-            let leaver = MemberId(round * 3);
-            let out = mgr.process_interval(&[], &[leaver], &mut rng).unwrap();
-            departed.push(leaver);
-            for s in &mut states {
-                let _ = s.process(&out.message);
-            }
-            for s in &states {
-                if departed.contains(&s.id()) {
-                    assert_ne!(s.key_for(mgr.dek_node()), Some(mgr.dek()));
-                } else {
-                    assert_eq!(
-                        s.key_for(mgr.dek_node()),
-                        Some(mgr.dek()),
-                        "member {} lost DEK at round {round}",
-                        s.id()
-                    );
-                }
-            }
-        }
-        assert!(
-            mgr.l_class_size(0) + mgr.l_class_size(1) > 0,
-            "migrations happened"
-        );
     }
 
     #[test]

@@ -24,8 +24,11 @@
 //! - [`one_tree`] — the unoptimized single balanced key tree, the
 //!   baseline every optimization is measured against.
 //!
-//! All managers implement [`GroupKeyManager`], so simulations and
-//! applications can switch schemes freely.
+//! All of these schemes are built as [`engine::PlacementPolicy`]
+//! implementations over the shared [`engine::RekeyEngine`] pipeline
+//! (route → plan each tree → execute trees in parallel → merge →
+//! refresh the DEK), and all managers implement [`GroupKeyManager`],
+//! so simulations and applications can switch schemes freely.
 //!
 //! # Example
 //!
@@ -54,6 +57,7 @@
 
 pub mod adaptive;
 pub mod combined;
+pub mod engine;
 pub mod loss_forest;
 pub mod one_tree;
 pub mod partition;
@@ -195,6 +199,16 @@ pub trait GroupKeyManager {
     /// Audience oracle: the members holding the key of `node` —
     /// drives the transport layer's interest maps.
     fn members_under(&self, node: NodeId) -> Vec<MemberId>;
+
+    /// Buffer-reusing variant of [`GroupKeyManager::members_under`]:
+    /// appends the audience of `node` to `out` instead of allocating a
+    /// fresh `Vec`. Hot loops (the sim driver queries one node per
+    /// rekey entry per interval) clear and reuse a single buffer. The
+    /// default delegates to `members_under`; managers with cheap
+    /// append paths override it.
+    fn members_under_into(&self, node: NodeId, out: &mut Vec<MemberId>) {
+        out.extend(self.members_under(node));
+    }
 
     /// A short human-readable scheme name for reports.
     fn scheme_name(&self) -> &'static str;

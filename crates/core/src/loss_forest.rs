@@ -15,27 +15,72 @@
 //! piggyback their observed loss counts on NACKs, and the server uses
 //! the estimate when the member next (re-)joins.
 
-use crate::dek::DekState;
-use crate::{GroupKeyManager, IntervalOutcome, IntervalStats, Join};
-use rand::RngCore;
-use rekey_crypto::Key;
-use rekey_keytree::message::RekeyMessage;
+use crate::engine::{Placement, PlacementPolicy, RekeyEngine, Trees};
+use crate::Join;
 use rekey_keytree::server::LkhServer;
-use rekey_keytree::{KeyTreeError, MemberId, NodeId};
+use rekey_keytree::{KeyTreeError, MemberId};
 use std::collections::BTreeMap;
 
 const NS_DEK: u32 = 1;
 const NS_TREE0: u32 = 16;
 
-/// A key forest partitioned by member loss rate.
+/// Validates loss-class boundaries: strictly increasing within (0, 1).
+///
+/// # Panics
+///
+/// Panics otherwise (shared by the forest and the combined scheme).
+pub(crate) fn check_boundaries(boundaries: &[f64]) {
+    let mut prev = 0.0;
+    for &b in boundaries {
+        assert!(
+            b > prev && b < 1.0,
+            "class boundaries must be strictly increasing in (0, 1)"
+        );
+        prev = b;
+    }
+}
+
+/// Loss class for `loss_rate` given the class upper bounds (the last
+/// class is unbounded).
+pub(crate) fn class_of_loss(boundaries: &[f64], loss_rate: f64) -> usize {
+    boundaries
+        .iter()
+        .position(|&b| loss_rate <= b)
+        .unwrap_or(boundaries.len())
+}
+
+/// Placement for the forest: one tree per loss class, joiners routed
+/// by their loss-rate hint, never moved afterwards.
 #[derive(Debug, Clone)]
-pub struct LossForestManager {
-    dek: DekState,
+pub struct LossForestPolicy {
     /// Upper loss bound of each class; the last class is unbounded.
     boundaries: Vec<f64>,
-    trees: Vec<LkhServer>,
-    epoch: u64,
 }
+
+impl PlacementPolicy for LossForestPolicy {
+    fn scheme_name(&self) -> &'static str {
+        "loss-homogenized-forest"
+    }
+
+    fn route_leave(&mut self, member: MemberId, trees: &Trees) -> Result<Placement, KeyTreeError> {
+        trees
+            .find(member)
+            .map(Placement::Tree)
+            .ok_or(KeyTreeError::UnknownMember(member))
+    }
+
+    fn route_join(&self, join: &Join, _trees: &Trees) -> Placement {
+        // Members with no estimate go to the lowest class (first-time
+        // joiners per §4.2).
+        Placement::Tree(class_of_loss(
+            &self.boundaries,
+            join.hint.loss_rate.unwrap_or(0.0),
+        ))
+    }
+}
+
+/// A key forest partitioned by member loss rate.
+pub type LossForestManager = RekeyEngine<LossForestPolicy>;
 
 impl LossForestManager {
     /// Creates a forest with one tree per loss class. `boundaries` are
@@ -48,23 +93,16 @@ impl LossForestManager {
     /// Panics if `degree < 2` or `boundaries` is not strictly
     /// increasing within `[0, 1)`.
     pub fn new(degree: usize, boundaries: &[f64]) -> Self {
-        let mut prev = 0.0;
-        for &b in boundaries {
-            assert!(
-                b > prev && b < 1.0,
-                "class boundaries must be strictly increasing in (0, 1)"
-            );
-            prev = b;
-        }
-        let trees = (0..=boundaries.len())
-            .map(|i| LkhServer::new(degree, NS_TREE0 + i as u32))
-            .collect();
-        LossForestManager {
-            dek: DekState::new(NS_DEK),
-            boundaries: boundaries.to_vec(),
-            trees,
-            epoch: 0,
-        }
+        check_boundaries(boundaries);
+        let names: Vec<String> = (0..=boundaries.len()).map(|i| format!("loss{i}")).collect();
+        let servers = (0..=boundaries.len()).map(|i| LkhServer::new(degree, NS_TREE0 + i as u32));
+        RekeyEngine::with_trees(
+            LossForestPolicy {
+                boundaries: boundaries.to_vec(),
+            },
+            names.iter().map(String::as_str).zip(servers).collect(),
+            Some(NS_DEK),
+        )
     }
 
     /// The paper's default: two trees split at 5% loss.
@@ -74,15 +112,12 @@ impl LossForestManager {
 
     /// Class index a member with the given loss rate belongs to.
     pub fn class_of(&self, loss_rate: f64) -> usize {
-        self.boundaries
-            .iter()
-            .position(|&b| loss_rate <= b)
-            .unwrap_or(self.boundaries.len())
+        class_of_loss(&self.policy().boundaries, loss_rate)
     }
 
     /// Number of loss classes (trees).
     pub fn class_count(&self) -> usize {
-        self.trees.len()
+        self.tree_count()
     }
 
     /// Member count of class `class`.
@@ -91,112 +126,7 @@ impl LossForestManager {
     ///
     /// Panics if `class >= class_count()`.
     pub fn class_size(&self, class: usize) -> usize {
-        self.trees[class].member_count()
-    }
-}
-
-impl GroupKeyManager for LossForestManager {
-    fn process_interval(
-        &mut self,
-        joins: &[Join],
-        leaves: &[MemberId],
-        mut rng: &mut dyn RngCore,
-    ) -> Result<IntervalOutcome, KeyTreeError> {
-        self.epoch += 1;
-
-        // Route departures to the trees holding them.
-        let mut tree_leaves: Vec<Vec<MemberId>> = vec![Vec::new(); self.trees.len()];
-        'leaves: for &m in leaves {
-            for (i, tree) in self.trees.iter().enumerate() {
-                if tree.contains(m) {
-                    tree_leaves[i].push(m);
-                    continue 'leaves;
-                }
-            }
-            return Err(KeyTreeError::UnknownMember(m));
-        }
-
-        // Route joins by loss-rate hint; members with no estimate go
-        // to the lowest class (first-time joiners per §4.2).
-        let mut tree_joins: Vec<Vec<(MemberId, Key)>> = vec![Vec::new(); self.trees.len()];
-        for j in joins {
-            let class = self.class_of(j.hint.loss_rate.unwrap_or(0.0));
-            tree_joins[class].push((j.member, j.individual_key.clone()));
-        }
-
-        let mut message = RekeyMessage::new(self.epoch);
-        for (i, tree) in self.trees.iter_mut().enumerate() {
-            let out = tree.try_apply_batch(&tree_joins[i], &tree_leaves[i], &mut rng)?;
-            message.merge(out.message);
-        }
-
-        self.dek.refresh(rng);
-        for tree in &self.trees {
-            if tree.member_count() > 0 {
-                message.entries.push(self.dek.wrap_under(
-                    tree.root_node(),
-                    tree.root_version(),
-                    tree.root_key(),
-                    false,
-                    None,
-                    tree.member_count() as u32,
-                    rng,
-                ));
-            }
-        }
-
-        Ok(IntervalOutcome {
-            stats: IntervalStats {
-                joins: joins.len(),
-                leaves: leaves.len(),
-                migrations: 0,
-                encrypted_keys: message.encrypted_key_count(),
-                message_bytes: message.byte_len(),
-            },
-            message,
-        })
-    }
-
-    fn set_parallelism(&mut self, workers: usize) {
-        for tree in &mut self.trees {
-            tree.set_parallelism(workers);
-        }
-    }
-
-    fn dek_node(&self) -> NodeId {
-        self.dek.node
-    }
-
-    fn dek(&self) -> &Key {
-        &self.dek.key
-    }
-
-    fn member_count(&self) -> usize {
-        self.trees.iter().map(LkhServer::member_count).sum()
-    }
-
-    fn contains(&self, member: MemberId) -> bool {
-        self.trees.iter().any(|t| t.contains(member))
-    }
-
-    fn members_under(&self, node: NodeId) -> Vec<MemberId> {
-        if node == self.dek.node {
-            return self
-                .trees
-                .iter()
-                .flat_map(|t| t.members_under(t.root_node()))
-                .collect();
-        }
-        for tree in &self.trees {
-            if node.namespace() == tree.tree().namespace() {
-                return tree.members_under(node);
-            }
-        }
-        Vec::new()
-    }
-
-    fn scheme_name(&self) -> &'static str {
-        "loss-homogenized-forest"
+        self.tree(class).member_count()
     }
 }
 
@@ -244,9 +174,10 @@ impl LossEstimator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::GroupKeyManager;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use rekey_keytree::member::GroupMember;
+    use rekey_crypto::Key;
 
     #[test]
     fn placement_by_loss_hint() {
@@ -270,40 +201,6 @@ mod tests {
         assert_eq!(mgr.class_of(0.1), 1);
         assert_eq!(mgr.class_of(0.9), 2);
         assert_eq!(mgr.class_count(), 3);
-    }
-
-    #[test]
-    fn forest_end_to_end_secrecy() {
-        let mut rng = StdRng::seed_from_u64(2);
-        let mut mgr = LossForestManager::two_trees(3);
-        let mut states: BTreeMap<MemberId, GroupMember> = BTreeMap::new();
-
-        let joins: Vec<Join> = (0..20u64)
-            .map(|i| {
-                let ik = Key::generate(&mut rng);
-                states.insert(MemberId(i), GroupMember::new(MemberId(i), ik.clone()));
-                let loss = if i % 3 == 0 { 0.2 } else { 0.02 };
-                Join::new(MemberId(i), ik).with_loss_rate(loss)
-            })
-            .collect();
-        let out = mgr.process_interval(&joins, &[], &mut rng).unwrap();
-        for s in states.values_mut() {
-            s.process(&out.message).unwrap();
-        }
-
-        // Evict one member of each class.
-        let leavers = [MemberId(0), MemberId(1)];
-        let out = mgr.process_interval(&[], &leavers, &mut rng).unwrap();
-        for s in states.values_mut() {
-            let _ = s.process(&out.message);
-        }
-        for (id, s) in &states {
-            if leavers.contains(id) {
-                assert_ne!(s.key_for(mgr.dek_node()), Some(mgr.dek()), "{id} kept DEK");
-            } else {
-                assert_eq!(s.key_for(mgr.dek_node()), Some(mgr.dek()), "{id} lost DEK");
-            }
-        }
     }
 
     #[test]

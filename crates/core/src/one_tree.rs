@@ -1,17 +1,38 @@
 //! The unoptimized baseline: one balanced key tree whose root is the
 //! group DEK (\[WGL98, WHA98\] with periodic batching).
 
-use crate::{GroupKeyManager, IntervalOutcome, IntervalStats, Join};
-use rand::RngCore;
-use rekey_crypto::Key;
+use crate::engine::{Placement, PlacementPolicy, RekeyEngine, Trees};
+use crate::Join;
 use rekey_keytree::server::LkhServer;
-use rekey_keytree::{KeyTreeError, MemberId, NodeId};
+use rekey_keytree::{KeyTreeError, MemberId};
+
+/// Placement for the baseline: everyone lives in the single tree, and
+/// its root *is* the group key (the engine runs with no DEK layer).
+#[derive(Debug, Clone, Default)]
+pub struct OneTreePolicy;
+
+impl PlacementPolicy for OneTreePolicy {
+    fn scheme_name(&self) -> &'static str {
+        "one-keytree"
+    }
+
+    fn route_leave(
+        &mut self,
+        _member: MemberId,
+        _trees: &Trees,
+    ) -> Result<Placement, KeyTreeError> {
+        // The sole tree validates membership itself when the batch is
+        // planned, so routing never rejects.
+        Ok(Placement::Tree(0))
+    }
+
+    fn route_join(&self, _join: &Join, _trees: &Trees) -> Placement {
+        Placement::Tree(0)
+    }
+}
 
 /// A single balanced LKH tree; the DEK is the tree root.
-#[derive(Debug, Clone)]
-pub struct OneTreeManager {
-    server: LkhServer,
-}
+pub type OneTreeManager = RekeyEngine<OneTreePolicy>;
 
 impl OneTreeManager {
     /// Creates the manager with the given key-tree degree.
@@ -20,76 +41,28 @@ impl OneTreeManager {
     ///
     /// Panics if `degree < 2`.
     pub fn new(degree: usize) -> Self {
-        OneTreeManager {
-            server: LkhServer::new(degree, 0),
-        }
+        RekeyEngine::with_trees(
+            OneTreePolicy,
+            vec![("main", LkhServer::new(degree, 0))],
+            None,
+        )
     }
 
     /// Read access to the underlying server (for diagnostics/tests).
     pub fn server(&self) -> &LkhServer {
-        &self.server
-    }
-}
-
-impl GroupKeyManager for OneTreeManager {
-    fn process_interval(
-        &mut self,
-        joins: &[Join],
-        leaves: &[MemberId],
-        mut rng: &mut dyn RngCore,
-    ) -> Result<IntervalOutcome, KeyTreeError> {
-        let join_pairs: Vec<(MemberId, Key)> = joins
-            .iter()
-            .map(|j| (j.member, j.individual_key.clone()))
-            .collect();
-        let outcome = self.server.try_apply_batch(&join_pairs, leaves, &mut rng)?;
-        Ok(IntervalOutcome {
-            stats: IntervalStats {
-                joins: joins.len(),
-                leaves: leaves.len(),
-                migrations: 0,
-                encrypted_keys: outcome.message.encrypted_key_count(),
-                message_bytes: outcome.message.byte_len(),
-            },
-            message: outcome.message,
-        })
-    }
-
-    fn set_parallelism(&mut self, workers: usize) {
-        self.server.set_parallelism(workers);
-    }
-
-    fn dek_node(&self) -> NodeId {
-        self.server.root_node()
-    }
-
-    fn dek(&self) -> &Key {
-        self.server.root_key()
-    }
-
-    fn member_count(&self) -> usize {
-        self.server.member_count()
-    }
-
-    fn contains(&self, member: MemberId) -> bool {
-        self.server.contains(member)
-    }
-
-    fn members_under(&self, node: NodeId) -> Vec<MemberId> {
-        self.server.members_under(node)
-    }
-
-    fn scheme_name(&self) -> &'static str {
-        "one-keytree"
+        self.tree(0)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::GroupKeyManager;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use rekey_crypto::Key;
     use rekey_keytree::member::GroupMember;
+    use rekey_keytree::MemberId;
 
     #[test]
     fn baseline_round_trip() {

@@ -6,7 +6,8 @@
 //! S-partition: L-partition members need nothing but the refreshed
 //! group DEK (one key, wrapped under the L-partition root).
 //!
-//! Three constructions, as in the paper:
+//! Three constructions, as in the paper, each a
+//! [`PlacementPolicy`] over the shared [`RekeyEngine`] pipeline:
 //!
 //! - [`TtManager`] — balanced tree for both partitions: best when the
 //!   S-partition is large,
@@ -17,8 +18,10 @@
 //!   (\[SMS00\]-style a-priori knowledge); the upper bound on what
 //!   partitioning can achieve since no migrations are ever needed.
 
-use crate::dek::DekState;
-use crate::{DurationClass, GroupKeyManager, IntervalOutcome, IntervalStats, Join};
+use crate::engine::{
+    DekCtx, IntervalCtx, Migration, Placement, PlacementPolicy, RekeyEngine, Trees,
+};
+use crate::{DurationClass, Join};
 use rand::RngCore;
 use rekey_crypto::Key;
 use rekey_keytree::message::RekeyMessage;
@@ -31,184 +34,110 @@ const NS_DEK: u32 = 1;
 const NS_S: u32 = 2;
 const NS_L: u32 = 3;
 
-/// Splits the departures of an interval into those currently in the
-/// S-structure and those in the L-tree.
-fn split_leaves(
-    leaves: &[MemberId],
-    in_s: impl Fn(MemberId) -> bool,
-    l: &LkhServer,
-) -> Result<(Vec<MemberId>, Vec<MemberId>), KeyTreeError> {
-    let mut s_leaves = Vec::new();
-    let mut l_leaves = Vec::new();
-    for &m in leaves {
-        if in_s(m) {
-            s_leaves.push(m);
-        } else if l.contains(m) {
-            l_leaves.push(m);
-        } else {
-            return Err(KeyTreeError::UnknownMember(m));
-        }
-    }
-    Ok((s_leaves, l_leaves))
-}
+/// Tree index of the S-partition in the two-tree schemes.
+const S: usize = 0;
+/// Tree index of the L-partition.
+const L: usize = 1;
 
 // ---------------------------------------------------------------------
 // TT-scheme
 // ---------------------------------------------------------------------
 
-/// Two balanced key trees: an S-tree for recent joiners and an L-tree
-/// for members that survived the S-period.
+/// Placement for the TT-scheme: joiners enter the S-tree, S-period
+/// survivors migrate to the L-tree.
 #[derive(Debug, Clone)]
-pub struct TtManager {
-    dek: DekState,
-    s: LkhServer,
-    l: LkhServer,
+pub struct TtPolicy {
     /// Epoch at which each current S-member joined.
     s_ages: BTreeMap<MemberId, u64>,
     /// Registered individual keys of S-members (needed at migration).
     s_keys: BTreeMap<MemberId, Key>,
     k: u64,
-    epoch: u64,
 }
 
-impl TtManager {
-    /// Creates a TT-scheme manager with tree degree `degree` and
-    /// S-period `k` rekey intervals (`K = Ts/Tp`).
-    pub fn new(degree: usize, k: u64) -> Self {
-        TtManager {
-            dek: DekState::new(NS_DEK),
-            s: LkhServer::new(degree, NS_S),
-            l: LkhServer::new(degree, NS_L),
-            s_ages: BTreeMap::new(),
-            s_keys: BTreeMap::new(),
-            k,
-            epoch: 0,
+impl PlacementPolicy for TtPolicy {
+    fn scheme_name(&self) -> &'static str {
+        "tt-scheme"
+    }
+
+    fn route_leave(&mut self, member: MemberId, trees: &Trees) -> Result<Placement, KeyTreeError> {
+        if trees.server(S).contains(member) {
+            self.s_ages.remove(&member);
+            self.s_keys.remove(&member);
+            Ok(Placement::Tree(S))
+        } else if trees.server(L).contains(member) {
+            Ok(Placement::Tree(L))
+        } else {
+            Err(KeyTreeError::UnknownMember(member))
         }
     }
 
-    /// Current S-partition population (`Ns`).
-    pub fn s_count(&self) -> usize {
-        self.s.member_count()
-    }
-
-    /// Current L-partition population (`Nl`).
-    pub fn l_count(&self) -> usize {
-        self.l.member_count()
-    }
-}
-
-impl GroupKeyManager for TtManager {
-    fn process_interval(
-        &mut self,
-        joins: &[Join],
-        leaves: &[MemberId],
-        mut rng: &mut dyn RngCore,
-    ) -> Result<IntervalOutcome, KeyTreeError> {
-        self.epoch += 1;
-        let (s_leaves, l_leaves) = split_leaves(leaves, |m| self.s.contains(m), &self.l)?;
-        for m in &s_leaves {
-            self.s_ages.remove(m);
-            self.s_keys.remove(m);
-        }
-
+    fn plan_migrations(&mut self, epoch: u64, _trees: &Trees) -> Vec<Migration> {
         // Members whose S-period elapsed migrate in this interval's
         // batch (before this interval's joins are added).
-        let deadline = self.epoch.saturating_sub(self.k);
+        let deadline = epoch.saturating_sub(self.k);
         let migrating: Vec<MemberId> = self
             .s_ages
             .iter()
             .filter(|&(_, &joined)| joined <= deadline)
             .map(|(&m, _)| m)
             .collect();
-        let mut l_joins: Vec<(MemberId, Key)> = Vec::with_capacity(migrating.len());
-        for m in &migrating {
-            self.s_ages.remove(m);
-            let ik = self.s_keys.remove(m).expect("S-member has a key");
-            l_joins.push((*m, ik));
-        }
+        migrating
+            .into_iter()
+            .map(|m| {
+                self.s_ages.remove(&m);
+                Migration {
+                    member: m,
+                    individual_key: self.s_keys.remove(&m).expect("S-member has a key"),
+                    from: Some(S),
+                    to: L,
+                }
+            })
+            .collect()
+    }
 
-        // S-batch: joins in, departures + migrations out.
-        let s_joins: Vec<(MemberId, Key)> = joins
-            .iter()
-            .map(|j| (j.member, j.individual_key.clone()))
-            .collect();
-        let mut s_removals = s_leaves.clone();
-        s_removals.extend(&migrating);
-        let s_out = self.s.try_apply_batch(&s_joins, &s_removals, &mut rng)?;
-        let l_out = self.l.try_apply_batch(&l_joins, &l_leaves, &mut rng)?;
+    fn route_join(&self, _join: &Join, _trees: &Trees) -> Placement {
+        Placement::Tree(S)
+    }
 
+    fn record_joins(&mut self, joins: &[Join], epoch: u64) -> Result<(), KeyTreeError> {
         for j in joins {
-            self.s_ages.insert(j.member, self.epoch);
+            self.s_ages.insert(j.member, epoch);
             self.s_keys.insert(j.member, j.individual_key.clone());
         }
+        Ok(())
+    }
+}
 
-        // Refresh and distribute the DEK under each occupied root.
-        self.dek.refresh(rng);
-        let mut message = RekeyMessage::new(self.epoch);
-        message.merge(s_out.message);
-        message.merge(l_out.message);
-        for server in [&self.s, &self.l] {
-            if server.member_count() > 0 {
-                message.entries.push(self.dek.wrap_under(
-                    server.root_node(),
-                    server.root_version(),
-                    server.root_key(),
-                    false,
-                    None,
-                    server.member_count() as u32,
-                    rng,
-                ));
-            }
-        }
+/// Two balanced key trees: an S-tree for recent joiners and an L-tree
+/// for members that survived the S-period.
+pub type TtManager = RekeyEngine<TtPolicy>;
 
-        Ok(IntervalOutcome {
-            stats: IntervalStats {
-                joins: joins.len(),
-                leaves: leaves.len(),
-                migrations: migrating.len(),
-                encrypted_keys: message.encrypted_key_count(),
-                message_bytes: message.byte_len(),
+impl TtManager {
+    /// Creates a TT-scheme manager with tree degree `degree` and
+    /// S-period `k` rekey intervals (`K = Ts/Tp`).
+    pub fn new(degree: usize, k: u64) -> Self {
+        RekeyEngine::with_trees(
+            TtPolicy {
+                s_ages: BTreeMap::new(),
+                s_keys: BTreeMap::new(),
+                k,
             },
-            message,
-        })
+            vec![
+                ("s", LkhServer::new(degree, NS_S)),
+                ("l", LkhServer::new(degree, NS_L)),
+            ],
+            Some(NS_DEK),
+        )
     }
 
-    fn set_parallelism(&mut self, workers: usize) {
-        self.s.set_parallelism(workers);
-        self.l.set_parallelism(workers);
+    /// Current S-partition population (`Ns`).
+    pub fn s_count(&self) -> usize {
+        self.tree(S).member_count()
     }
 
-    fn dek_node(&self) -> NodeId {
-        self.dek.node
-    }
-
-    fn dek(&self) -> &Key {
-        &self.dek.key
-    }
-
-    fn member_count(&self) -> usize {
-        self.s.member_count() + self.l.member_count()
-    }
-
-    fn contains(&self, member: MemberId) -> bool {
-        self.s.contains(member) || self.l.contains(member)
-    }
-
-    fn members_under(&self, node: NodeId) -> Vec<MemberId> {
-        match node.namespace() {
-            NS_DEK => {
-                let mut all = self.s.members_under(self.s.root_node());
-                all.extend(self.l.members_under(self.l.root_node()));
-                all
-            }
-            NS_S => self.s.members_under(node),
-            NS_L => self.l.members_under(node),
-            _ => Vec::new(),
-        }
-    }
-
-    fn scheme_name(&self) -> &'static str {
-        "tt-scheme"
+    /// Current L-partition population (`Nl`).
+    pub fn l_count(&self) -> usize {
+        self.tree(L).member_count()
     }
 }
 
@@ -216,88 +145,82 @@ impl GroupKeyManager for TtManager {
 // QT-scheme
 // ---------------------------------------------------------------------
 
-/// A linear queue for the S-partition and a balanced tree for the
-/// L-partition.
+/// Placement for the QT-scheme: the S-partition is a [`KeyQueue`]
+/// internal to the policy (no shared keys at all), the L-partition is
+/// the engine's single tree.
 #[derive(Debug, Clone)]
-pub struct QtManager {
-    dek: DekState,
+pub struct QtPolicy {
     queue: KeyQueue,
-    l: LkhServer,
     k: u64,
-    epoch: u64,
 }
 
-impl QtManager {
-    /// Creates a QT-scheme manager with L-tree degree `degree` and
-    /// S-period `k` rekey intervals.
-    pub fn new(degree: usize, k: u64) -> Self {
-        QtManager {
-            dek: DekState::new(NS_DEK),
-            queue: KeyQueue::new(NS_S),
-            l: LkhServer::new(degree, NS_L),
-            k,
-            epoch: 0,
+impl PlacementPolicy for QtPolicy {
+    fn scheme_name(&self) -> &'static str {
+        "qt-scheme"
+    }
+
+    fn route_leave(&mut self, member: MemberId, trees: &Trees) -> Result<Placement, KeyTreeError> {
+        if self.queue.contains(member) {
+            self.queue.remove(member)?;
+            Ok(Placement::Internal)
+        } else if trees.server(0).contains(member) {
+            Ok(Placement::Tree(0))
+        } else {
+            Err(KeyTreeError::UnknownMember(member))
         }
     }
 
-    /// Current S-partition population (`Ns`).
-    pub fn s_count(&self) -> usize {
-        self.queue.len()
+    fn plan_migrations(&mut self, epoch: u64, _trees: &Trees) -> Vec<Migration> {
+        let deadline = epoch.saturating_sub(self.k);
+        self.queue
+            .pop_older_than(deadline)
+            .into_iter()
+            .map(|slot| Migration {
+                member: slot.member,
+                individual_key: slot.individual_key,
+                from: None,
+                to: 0,
+            })
+            .collect()
     }
 
-    /// Current L-partition population (`Nl`).
-    pub fn l_count(&self) -> usize {
-        self.l.member_count()
+    fn route_join(&self, _join: &Join, _trees: &Trees) -> Placement {
+        Placement::Internal
     }
-}
 
-impl GroupKeyManager for QtManager {
-    fn process_interval(
-        &mut self,
-        joins: &[Join],
-        leaves: &[MemberId],
-        mut rng: &mut dyn RngCore,
-    ) -> Result<IntervalOutcome, KeyTreeError> {
-        self.epoch += 1;
-        let (s_leaves, l_leaves) = split_leaves(leaves, |m| self.queue.contains(m), &self.l)?;
-        for m in &s_leaves {
-            self.queue.remove(*m)?;
-        }
-
-        let deadline = self.epoch.saturating_sub(self.k);
-        let migrating = self.queue.pop_older_than(deadline);
-        let l_joins: Vec<(MemberId, Key)> = migrating
-            .iter()
-            .map(|slot| (slot.member, slot.individual_key.clone()))
-            .collect();
-        let l_out = self.l.try_apply_batch(&l_joins, &l_leaves, &mut rng)?;
-
+    fn record_joins(&mut self, joins: &[Join], epoch: u64) -> Result<(), KeyTreeError> {
         for j in joins {
-            self.queue
-                .push(j.member, j.individual_key.clone(), self.epoch)?;
+            self.queue.push(j.member, j.individual_key.clone(), epoch)?;
         }
+        Ok(())
+    }
 
-        let (old_dek, old_version) = self.dek.refresh(rng);
-        let mut message = RekeyMessage::new(self.epoch);
-        message.merge(l_out.message);
-
-        let no_departures = s_leaves.is_empty() && l_leaves.is_empty();
-        if no_departures && self.epoch > 1 {
+    fn dek_entries(
+        &mut self,
+        dek: &DekCtx,
+        interval: &IntervalCtx,
+        trees: &Trees,
+        message: &mut RekeyMessage,
+        rng: &mut dyn RngCore,
+    ) {
+        let l = trees.server(0);
+        if !interval.had_departures && interval.epoch > 1 {
             // Join phase (§3.2 phase 1): the new DEK rides under the
             // previous DEK for everyone already present, plus one
             // individual delivery per new joiner.
-            message.entries.push(self.dek.wrap_under(
-                self.dek.node,
-                old_version,
-                &old_dek,
+            let present = self.queue.len() + l.member_count() - interval.joins.len();
+            message.entries.push(dek.wrap_under(
+                dek.node(),
+                dek.previous_version(),
+                dek.previous_key(),
                 false,
                 None,
-                (self.member_count() - joins.len()) as u32,
+                present as u32,
                 rng,
             ));
-            for j in joins {
+            for j in interval.joins {
                 let slot = self.queue.slot(j.member).expect("just queued");
-                message.entries.push(self.dek.wrap_under(
+                message.entries.push(dek.wrap_under(
                     slot.node,
                     0,
                     &slot.individual_key,
@@ -311,82 +234,72 @@ impl GroupKeyManager for QtManager {
             // Departure phase (§3.2 phase 2): the queue has no shared
             // keys, so the DEK is wrapped once per queued member
             // (Neq = Ns) plus once under the L-root.
-            if self.l.member_count() > 0 {
-                message.entries.push(self.dek.wrap_under(
-                    self.l.root_node(),
-                    self.l.root_version(),
-                    self.l.root_key(),
-                    false,
-                    None,
-                    self.l.member_count() as u32,
+            if l.member_count() > 0 {
+                message.entries.push(dek.wrap_tree_root(l, rng));
+            }
+            for slot in self.queue.iter() {
+                message.entries.push(dek.wrap_under(
+                    slot.node,
+                    0,
+                    &slot.individual_key,
+                    true,
+                    Some(slot.member),
+                    1,
                     rng,
                 ));
             }
-            let slots: Vec<(MemberId, NodeId, Key)> = self
-                .queue
-                .iter()
-                .map(|s| (s.member, s.node, s.individual_key.clone()))
-                .collect();
-            for (member, node, ik) in slots {
-                message.entries.push(
-                    self.dek
-                        .wrap_under(node, 0, &ik, true, Some(member), 1, rng),
-                );
-            }
         }
-
-        Ok(IntervalOutcome {
-            stats: IntervalStats {
-                joins: joins.len(),
-                leaves: leaves.len(),
-                migrations: migrating.len(),
-                encrypted_keys: message.encrypted_key_count(),
-                message_bytes: message.byte_len(),
-            },
-            message,
-        })
     }
 
-    fn set_parallelism(&mut self, workers: usize) {
-        self.l.set_parallelism(workers);
+    fn internal_member_count(&self) -> usize {
+        self.queue.len()
     }
 
-    fn dek_node(&self) -> NodeId {
-        self.dek.node
+    fn internal_contains(&self, member: MemberId) -> bool {
+        self.queue.contains(member)
     }
 
-    fn dek(&self) -> &Key {
-        &self.dek.key
+    fn internal_members(&self, out: &mut Vec<MemberId>) {
+        out.extend(self.queue.iter().map(|slot| slot.member));
     }
 
-    fn member_count(&self) -> usize {
-        self.queue.len() + self.l.member_count()
-    }
-
-    fn contains(&self, member: MemberId) -> bool {
-        self.queue.contains(member) || self.l.contains(member)
-    }
-
-    fn members_under(&self, node: NodeId) -> Vec<MemberId> {
-        match node.namespace() {
-            NS_DEK => {
-                let mut all = self.queue.members();
-                all.extend(self.l.members_under(self.l.root_node()));
-                all
-            }
-            NS_S => self
-                .queue
+    fn internal_members_under(&self, node: NodeId) -> Option<Vec<MemberId>> {
+        (node.namespace() == NS_S).then(|| {
+            self.queue
                 .iter()
                 .find(|s| s.node == node)
                 .map(|s| vec![s.member])
-                .unwrap_or_default(),
-            NS_L => self.l.members_under(node),
-            _ => Vec::new(),
-        }
+                .unwrap_or_default()
+        })
+    }
+}
+
+/// A linear queue for the S-partition and a balanced tree for the
+/// L-partition.
+pub type QtManager = RekeyEngine<QtPolicy>;
+
+impl QtManager {
+    /// Creates a QT-scheme manager with L-tree degree `degree` and
+    /// S-period `k` rekey intervals.
+    pub fn new(degree: usize, k: u64) -> Self {
+        RekeyEngine::with_trees(
+            QtPolicy {
+                queue: KeyQueue::new(NS_S),
+                k,
+            },
+            vec![("l", LkhServer::new(degree, NS_L))],
+            Some(NS_DEK),
+        )
     }
 
-    fn scheme_name(&self) -> &'static str {
-        "qt-scheme"
+    /// Current S-partition population (`Ns`).
+    pub fn s_count(&self) -> usize {
+        self.policy().queue.len()
+    }
+
+    /// Current L-partition population (`Nl`).
+    pub fn l_count(&self) -> usize {
+        self.tree(0).member_count()
     }
 }
 
@@ -394,132 +307,69 @@ impl GroupKeyManager for QtManager {
 // PT-scheme
 // ---------------------------------------------------------------------
 
+/// Placement for the PT-scheme: members go straight into the partition
+/// of their (known) duration class, so no migrations ever happen.
+#[derive(Debug, Clone, Default)]
+pub struct PtPolicy;
+
+impl PlacementPolicy for PtPolicy {
+    fn scheme_name(&self) -> &'static str {
+        "pt-scheme"
+    }
+
+    fn route_leave(&mut self, member: MemberId, trees: &Trees) -> Result<Placement, KeyTreeError> {
+        if trees.server(S).contains(member) {
+            Ok(Placement::Tree(S))
+        } else if trees.server(L).contains(member) {
+            Ok(Placement::Tree(L))
+        } else {
+            Err(KeyTreeError::UnknownMember(member))
+        }
+    }
+
+    fn route_join(&self, join: &Join, _trees: &Trees) -> Placement {
+        match join.hint.expected_class {
+            Some(DurationClass::Short) => Placement::Tree(S),
+            // Unknown members default to the long partition, the safe
+            // choice for stable groups.
+            Some(DurationClass::Long) | None => Placement::Tree(L),
+        }
+    }
+}
+
 /// Oracle placement: members are placed directly into the partition of
 /// their (known) duration class, so no migrations ever happen. The
 /// upper bound of the two-partition idea.
-#[derive(Debug, Clone)]
-pub struct PtManager {
-    dek: DekState,
-    s: LkhServer,
-    l: LkhServer,
-}
+pub type PtManager = RekeyEngine<PtPolicy>;
 
 impl PtManager {
     /// Creates a PT-scheme manager with tree degree `degree`.
     pub fn new(degree: usize) -> Self {
-        PtManager {
-            dek: DekState::new(NS_DEK),
-            s: LkhServer::new(degree, NS_S),
-            l: LkhServer::new(degree, NS_L),
-        }
+        RekeyEngine::with_trees(
+            PtPolicy,
+            vec![
+                ("s", LkhServer::new(degree, NS_S)),
+                ("l", LkhServer::new(degree, NS_L)),
+            ],
+            Some(NS_DEK),
+        )
     }
 
     /// Current short-class population.
     pub fn s_count(&self) -> usize {
-        self.s.member_count()
+        self.tree(S).member_count()
     }
 
     /// Current long-class population.
     pub fn l_count(&self) -> usize {
-        self.l.member_count()
-    }
-}
-
-impl GroupKeyManager for PtManager {
-    fn process_interval(
-        &mut self,
-        joins: &[Join],
-        leaves: &[MemberId],
-        mut rng: &mut dyn RngCore,
-    ) -> Result<IntervalOutcome, KeyTreeError> {
-        let (s_leaves, l_leaves) = split_leaves(leaves, |m| self.s.contains(m), &self.l)?;
-        let mut s_joins = Vec::new();
-        let mut l_joins = Vec::new();
-        for j in joins {
-            match j.hint.expected_class {
-                Some(DurationClass::Short) => s_joins.push((j.member, j.individual_key.clone())),
-                // Unknown members default to the long partition, the
-                // safe choice for stable groups.
-                Some(DurationClass::Long) | None => {
-                    l_joins.push((j.member, j.individual_key.clone()))
-                }
-            }
-        }
-        let s_out = self.s.try_apply_batch(&s_joins, &s_leaves, &mut rng)?;
-        let l_out = self.l.try_apply_batch(&l_joins, &l_leaves, &mut rng)?;
-
-        self.dek.refresh(rng);
-        let mut message = RekeyMessage::new(s_out.message.epoch);
-        message.merge(s_out.message);
-        message.merge(l_out.message);
-        for server in [&self.s, &self.l] {
-            if server.member_count() > 0 {
-                message.entries.push(self.dek.wrap_under(
-                    server.root_node(),
-                    server.root_version(),
-                    server.root_key(),
-                    false,
-                    None,
-                    server.member_count() as u32,
-                    rng,
-                ));
-            }
-        }
-
-        Ok(IntervalOutcome {
-            stats: IntervalStats {
-                joins: joins.len(),
-                leaves: leaves.len(),
-                migrations: 0,
-                encrypted_keys: message.encrypted_key_count(),
-                message_bytes: message.byte_len(),
-            },
-            message,
-        })
-    }
-
-    fn set_parallelism(&mut self, workers: usize) {
-        self.s.set_parallelism(workers);
-        self.l.set_parallelism(workers);
-    }
-
-    fn dek_node(&self) -> NodeId {
-        self.dek.node
-    }
-
-    fn dek(&self) -> &Key {
-        &self.dek.key
-    }
-
-    fn member_count(&self) -> usize {
-        self.s.member_count() + self.l.member_count()
-    }
-
-    fn contains(&self, member: MemberId) -> bool {
-        self.s.contains(member) || self.l.contains(member)
-    }
-
-    fn members_under(&self, node: NodeId) -> Vec<MemberId> {
-        match node.namespace() {
-            NS_DEK => {
-                let mut all = self.s.members_under(self.s.root_node());
-                all.extend(self.l.members_under(self.l.root_node()));
-                all
-            }
-            NS_S => self.s.members_under(node),
-            NS_L => self.l.members_under(node),
-            _ => Vec::new(),
-        }
-    }
-
-    fn scheme_name(&self) -> &'static str {
-        "pt-scheme"
+        self.tree(L).member_count()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{GroupKeyManager, IntervalOutcome};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use rekey_keytree::member::GroupMember;
@@ -574,59 +424,6 @@ mod tests {
         }
     }
 
-    fn churn_scenario(mgr: &mut dyn GroupKeyManager, seed: u64) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut fx = Fixture::new();
-        let mut departed: Vec<MemberId> = Vec::new();
-
-        // Interval 1: 20 joins.
-        let joins = fx.joins(20, &mut rng);
-        let out = mgr.process_interval(&joins, &[], &mut rng).unwrap();
-        fx.deliver(&out);
-        fx.assert_synchronized(mgr, &departed);
-
-        // Intervals 2..12: churn with joins and leaves, spanning the
-        // S-period so migrations occur.
-        for round in 0..11u64 {
-            let joins = fx.joins(4, &mut rng);
-            let leave_ids: Vec<MemberId> = fx
-                .members
-                .keys()
-                .filter(|id| mgr.contains(**id) && !departed.contains(id))
-                .take(2 + (round % 2) as usize)
-                .copied()
-                .collect();
-            let out = mgr.process_interval(&joins, &leave_ids, &mut rng).unwrap();
-            departed.extend(&leave_ids);
-            fx.deliver(&out);
-            fx.assert_synchronized(mgr, &departed);
-            assert!(out.stats.encrypted_keys > 0);
-        }
-        assert_eq!(mgr.member_count(), fx.members.len() - departed.len());
-    }
-
-    #[test]
-    fn tt_scheme_end_to_end() {
-        let mut mgr = TtManager::new(3, 3);
-        churn_scenario(&mut mgr, 101);
-        // After 12 intervals with K = 3, survivors of early rounds
-        // must have migrated.
-        assert!(mgr.l_count() > 0, "no members migrated to L");
-    }
-
-    #[test]
-    fn qt_scheme_end_to_end() {
-        let mut mgr = QtManager::new(3, 3);
-        churn_scenario(&mut mgr, 202);
-        assert!(mgr.l_count() > 0, "no members migrated to L");
-    }
-
-    #[test]
-    fn pt_scheme_end_to_end() {
-        let mut mgr = PtManager::new(3);
-        churn_scenario(&mut mgr, 303);
-    }
-
     #[test]
     fn pt_routes_by_class_hint() {
         let mut rng = StdRng::seed_from_u64(7);
@@ -660,6 +457,7 @@ mod tests {
         fx.deliver(&out);
         assert_eq!(mgr.s_count(), 0);
         assert_eq!(mgr.l_count(), 5);
+        assert_eq!(out.stats.migrations, 5);
         fx.assert_synchronized(&mgr, &[]);
     }
 
@@ -719,5 +517,25 @@ mod tests {
         mgr.process_interval(&[], &[], &mut rng).unwrap();
         let all = mgr.members_under(mgr.dek_node());
         assert_eq!(all.len(), 8);
+    }
+
+    #[test]
+    fn qt_members_under_covers_queue_slots() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut mgr = QtManager::new(4, 100);
+        let mut fx = Fixture::new();
+        let joins = fx.joins(4, &mut rng);
+        let out = mgr.process_interval(&joins, &[], &mut rng).unwrap();
+        // Queue members lead the DEK audience, in arrival order.
+        let all = mgr.members_under(mgr.dek_node());
+        assert_eq!(all.len(), 4);
+        // Every entry addressed to a queue slot has exactly that
+        // member as its audience.
+        for (_, entry) in out.message.iter() {
+            if entry.under.namespace() == NS_S {
+                let audience = mgr.members_under(entry.under);
+                assert_eq!(audience, vec![entry.recipient.unwrap()]);
+            }
+        }
     }
 }

@@ -1,0 +1,286 @@
+//! Versioned wire codec for rekey messages — the single source of
+//! truth for the entry byte layout.
+//!
+//! Historically the entry format lived in `rekey_transport::packet`
+//! while [`super::RekeyEntry::byte_len`] mirrored it through a
+//! hand-synced `ENTRY_HEADER_LEN` constant ("kept in sync with the
+//! transport crate's encoder"). This module replaces that pact: the
+//! layout is defined once, next to the types it serializes, and the
+//! transport crate delegates here.
+//!
+//! Two envelopes wrap sequences of entries, both led by a
+//! [`WIRE_VERSION`] byte so the format can evolve without silent
+//! misparses:
+//!
+//! - **block** (`version ‖ count:u32 ‖ entries`) — a packet-sized run
+//!   of entries, used by `rekey_transport::packet::Packet::to_bytes`,
+//! - **message** (`version ‖ epoch:u64 ‖ count:u32 ‖ entries`) — a
+//!   whole [`RekeyMessage`], used for storage, digests, and replay.
+//!
+//! All integers are big-endian. One serialized entry is
+//! [`ENTRY_WIRE_LEN`] bytes: an [`ENTRY_HEADER_LEN`]-byte metadata
+//! header followed by the [`WRAPPED_LEN`]-byte wrapped key.
+
+use super::{RekeyEntry, RekeyMessage};
+use crate::{MemberId, NodeId};
+use rekey_crypto::keywrap::{WrappedKey, WRAPPED_LEN};
+
+/// Format version emitted by every encoder in this module. Decoders
+/// reject anything else.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Fixed per-entry metadata overhead on the wire: two node ids, two
+/// versions, leaf flag, recipient flag + id, audience, depth — in
+/// bytes.
+pub const ENTRY_HEADER_LEN: usize = 8 + 8 + 8 + 8 + 1 + 1 + 8 + 4 + 4;
+
+/// Serialized entry size: metadata header plus the wrapped key.
+pub const ENTRY_WIRE_LEN: usize = ENTRY_HEADER_LEN + WRAPPED_LEN;
+
+/// Envelope overhead of an entry block: version byte + entry count.
+pub const BLOCK_HEADER_LEN: usize = 1 + 4;
+
+/// Envelope overhead of a whole message: version byte + epoch + entry
+/// count.
+pub const MESSAGE_HEADER_LEN: usize = 1 + 8 + 4;
+
+#[inline]
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+#[inline]
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+#[inline]
+fn get_u64(buf: &mut &[u8]) -> Option<u64> {
+    let (head, rest) = buf.split_first_chunk::<8>()?;
+    *buf = rest;
+    Some(u64::from_be_bytes(*head))
+}
+
+#[inline]
+fn get_u32(buf: &mut &[u8]) -> Option<u32> {
+    let (head, rest) = buf.split_first_chunk::<4>()?;
+    *buf = rest;
+    Some(u32::from_be_bytes(*head))
+}
+
+#[inline]
+fn get_u8(buf: &mut &[u8]) -> Option<u8> {
+    let (&head, rest) = buf.split_first()?;
+    *buf = rest;
+    Some(head)
+}
+
+/// Serializes one rekey entry into `buf` (no envelope).
+pub fn encode_entry(entry: &RekeyEntry, buf: &mut Vec<u8>) {
+    buf.reserve(ENTRY_WIRE_LEN);
+    put_u64(buf, entry.target.0);
+    put_u64(buf, entry.target_version);
+    put_u64(buf, entry.under.0);
+    put_u64(buf, entry.under_version);
+    buf.push(u8::from(entry.under_is_leaf));
+    buf.push(u8::from(entry.recipient.is_some()));
+    put_u64(buf, entry.recipient.map(|m| m.0).unwrap_or(0));
+    put_u32(buf, entry.audience);
+    put_u32(buf, entry.target_depth);
+    buf.extend_from_slice(&entry.wrapped.to_bytes());
+}
+
+/// Deserializes one rekey entry from `buf`, advancing it past the
+/// consumed bytes.
+///
+/// Returns `None` on truncated or malformed input.
+pub fn decode_entry(buf: &mut &[u8]) -> Option<RekeyEntry> {
+    if buf.len() < ENTRY_WIRE_LEN {
+        return None;
+    }
+    let target = NodeId(get_u64(buf)?);
+    let target_version = get_u64(buf)?;
+    let under = NodeId(get_u64(buf)?);
+    let under_version = get_u64(buf)?;
+    let under_is_leaf = get_u8(buf)? != 0;
+    let has_recipient = get_u8(buf)? != 0;
+    let recipient_raw = get_u64(buf)?;
+    let recipient = has_recipient.then_some(MemberId(recipient_raw));
+    let audience = get_u32(buf)?;
+    let target_depth = get_u32(buf)?;
+    let (wrapped_bytes, rest) = buf.split_first_chunk::<WRAPPED_LEN>()?;
+    *buf = rest;
+    let wrapped = WrappedKey::from_bytes(wrapped_bytes).ok()?;
+    Some(RekeyEntry {
+        target,
+        target_version,
+        under,
+        under_version,
+        under_is_leaf,
+        recipient,
+        audience,
+        target_depth,
+        wrapped,
+    })
+}
+
+/// Serializes a block of entries into `buf`: version byte, entry
+/// count, entries.
+///
+/// # Panics
+///
+/// Panics if the block holds more than `u32::MAX` entries.
+pub fn encode_block<'a, I>(entries: I, buf: &mut Vec<u8>)
+where
+    I: IntoIterator<Item = &'a RekeyEntry>,
+    I::IntoIter: ExactSizeIterator,
+{
+    let entries = entries.into_iter();
+    buf.reserve(BLOCK_HEADER_LEN + entries.len() * ENTRY_WIRE_LEN);
+    buf.push(WIRE_VERSION);
+    put_u32(
+        buf,
+        u32::try_from(entries.len()).expect("block entry count fits u32"),
+    );
+    for entry in entries {
+        encode_entry(entry, buf);
+    }
+}
+
+/// Deserializes a block written by [`encode_block`], advancing `buf`
+/// past the consumed bytes.
+///
+/// Returns `None` on a version mismatch, truncation, or a malformed
+/// entry.
+pub fn decode_block(buf: &mut &[u8]) -> Option<Vec<RekeyEntry>> {
+    if get_u8(buf)? != WIRE_VERSION {
+        return None;
+    }
+    let count = get_u32(buf)? as usize;
+    let mut entries = Vec::with_capacity(count.min(buf.len() / ENTRY_WIRE_LEN + 1));
+    for _ in 0..count {
+        entries.push(decode_entry(buf)?);
+    }
+    Some(entries)
+}
+
+/// Serializes a whole message: version byte, epoch, entry count,
+/// entries.
+pub fn encode_message(message: &RekeyMessage) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(MESSAGE_HEADER_LEN + message.entries.len() * ENTRY_WIRE_LEN);
+    buf.push(WIRE_VERSION);
+    put_u64(&mut buf, message.epoch);
+    put_u32(
+        &mut buf,
+        u32::try_from(message.entries.len()).expect("message entry count fits u32"),
+    );
+    for entry in &message.entries {
+        encode_entry(entry, &mut buf);
+    }
+    buf
+}
+
+/// Deserializes a message written by [`encode_message`].
+///
+/// Returns `None` on a version mismatch, truncation, trailing bytes,
+/// or a malformed entry.
+pub fn decode_message(bytes: &[u8]) -> Option<RekeyMessage> {
+    let mut buf = bytes;
+    if get_u8(&mut buf)? != WIRE_VERSION {
+        return None;
+    }
+    let epoch = get_u64(&mut buf)?;
+    let count = get_u32(&mut buf)? as usize;
+    let mut entries = Vec::with_capacity(count.min(buf.len() / ENTRY_WIRE_LEN + 1));
+    for _ in 0..count {
+        entries.push(decode_entry(&mut buf)?);
+    }
+    buf.is_empty().then_some(RekeyMessage { epoch, entries })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rekey_crypto::{keywrap, Key};
+
+    fn entry(i: u64) -> RekeyEntry {
+        let kek = Key::from_bytes([i as u8; 32]);
+        let payload = Key::from_bytes([0xA5; 32]);
+        RekeyEntry {
+            target: NodeId::from_parts(1, i),
+            target_version: i * 3,
+            under: NodeId::from_parts(2, i + 1),
+            under_version: i,
+            under_is_leaf: i.is_multiple_of(2),
+            recipient: (i.is_multiple_of(3)).then_some(MemberId(i)),
+            audience: i as u32 + 1,
+            target_depth: i as u32 % 7,
+            wrapped: keywrap::wrap_with_nonce(&kek, &payload, [i as u8; 12]),
+        }
+    }
+
+    #[test]
+    fn entry_roundtrip_and_len() {
+        for i in 0..8 {
+            let e = entry(i);
+            let mut buf = Vec::new();
+            encode_entry(&e, &mut buf);
+            assert_eq!(buf.len(), ENTRY_WIRE_LEN);
+            let mut slice = buf.as_slice();
+            assert_eq!(decode_entry(&mut slice), Some(e));
+            assert!(slice.is_empty());
+        }
+    }
+
+    #[test]
+    fn message_roundtrip() {
+        let msg = RekeyMessage {
+            epoch: 42,
+            entries: (0..5).map(entry).collect(),
+        };
+        let bytes = encode_message(&msg);
+        assert_eq!(bytes.len(), MESSAGE_HEADER_LEN + 5 * ENTRY_WIRE_LEN);
+        assert_eq!(decode_message(&bytes), Some(msg));
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let entries: Vec<RekeyEntry> = (0..4).map(entry).collect();
+        let mut buf = Vec::new();
+        encode_block(&entries, &mut buf);
+        let mut slice = buf.as_slice();
+        assert_eq!(decode_block(&mut slice), Some(entries));
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let msg = RekeyMessage {
+            epoch: 1,
+            entries: vec![entry(0)],
+        };
+        let mut bytes = encode_message(&msg);
+        bytes[0] = WIRE_VERSION.wrapping_add(1);
+        assert_eq!(decode_message(&bytes), None);
+        let mut block = Vec::new();
+        encode_block(&msg.entries, &mut block);
+        block[0] = 0xFF;
+        assert_eq!(decode_block(&mut block.as_slice()), None);
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let msg = RekeyMessage {
+            epoch: 7,
+            entries: (0..3).map(entry).collect(),
+        };
+        let bytes = encode_message(&msg);
+        for cut in 0..bytes.len() {
+            assert_eq!(decode_message(&bytes[..cut]), None, "cut at {cut}");
+        }
+        // Trailing garbage is rejected too.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(decode_message(&padded), None);
+    }
+}

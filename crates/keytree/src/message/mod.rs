@@ -16,11 +16,9 @@
 use crate::{MemberId, NodeId};
 use rekey_crypto::keywrap::{WrappedKey, WRAPPED_LEN};
 
-/// Fixed per-entry metadata overhead on the wire: two node ids, two
-/// versions, leaf flag, recipient flag + id, audience, depth — in
-/// bytes. Kept in sync with the transport crate's encoder (checked by
-/// a test there).
-pub const ENTRY_HEADER_LEN: usize = 8 + 8 + 8 + 8 + 1 + 1 + 8 + 4 + 4;
+pub mod codec;
+
+pub use codec::ENTRY_HEADER_LEN;
 
 /// One encrypted key in a rekey message: `{target}` encrypted under
 /// the current key of `under`.

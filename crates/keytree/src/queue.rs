@@ -135,14 +135,21 @@ impl KeyQueue {
         migrated
     }
 
-    /// Iterates over all queued members' slots in arbitrary order.
+    /// Iterates over all queued members' slots in arrival order.
+    ///
+    /// The order is deterministic: rekey entries addressed to queue
+    /// members (one per slot on a departure rekey) appear in the same
+    /// order on every run with the same membership script, which is
+    /// what lets seeded simulations pin byte-exact message digests.
     pub fn iter(&self) -> impl Iterator<Item = &QueueSlot> {
-        self.by_member.values()
+        self.arrival_order
+            .iter()
+            .filter_map(|m| self.by_member.get(m))
     }
 
-    /// All queued member ids.
+    /// All queued member ids, in arrival order.
     pub fn members(&self) -> Vec<MemberId> {
-        self.by_member.keys().copied().collect()
+        self.iter().map(|slot| slot.member).collect()
     }
 }
 
@@ -214,6 +221,19 @@ mod tests {
         let ids: Vec<_> = migrated.iter().map(|s| s.member).collect();
         assert_eq!(ids, vec![MemberId(1), MemberId(3)]);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn iter_and_members_follow_arrival_order() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut q = KeyQueue::new(0);
+        for m in [5u64, 1, 9, 3] {
+            q.push(MemberId(m), key(&mut rng), 1).unwrap();
+        }
+        q.remove(MemberId(9)).unwrap();
+        let ids: Vec<_> = q.iter().map(|s| s.member).collect();
+        assert_eq!(ids, vec![MemberId(5), MemberId(1), MemberId(3)]);
+        assert_eq!(q.members(), ids);
     }
 
     #[test]

@@ -26,9 +26,9 @@
 //!    fresh keys are generated for every dirty node. This phase owns
 //!    the caller's RNG and is inherently ordered.
 //! 2. **Planning** (sequential): every encryption the batch needs is
-//!    recorded as a [`PlannedWrap`] — KEK, payload, per-entry metadata
+//!    recorded as a planned wrap — KEK, payload, per-entry metadata
 //!    and a nonce pre-drawn from the caller's RNG in plan order. All
-//!    buffers live in a reusable [`RekeyScratch`] arena, so steady-state
+//!    buffers live in a reusable scratch arena, so steady-state
 //!    batches perform no per-epoch heap allocation beyond the output
 //!    message itself.
 //! 3. **Execution** (parallel): the planned wraps are pure functions
@@ -78,6 +78,24 @@ pub struct BatchOutcome {
     pub joined_leaves: Vec<(MemberId, NodeId)>,
     /// Statistics for this batch.
     pub stats: BatchStats,
+}
+
+/// Proof that a batch was planned on a server, returned by
+/// [`LkhServer::plan_batch`] and consumed by
+/// [`LkhServer::execute_planned`].
+///
+/// Splitting planning from execution lets a multi-tree engine plan
+/// every tree sequentially (planning draws from the shared RNG, so its
+/// order is semantically significant) and then execute all trees'
+/// plans in parallel (execution is pure). The token owns this batch's
+/// leaf assignments and churn counts; the encryption plan itself stays
+/// in the server's scratch arena.
+#[derive(Debug)]
+#[must_use = "a planned batch produces no message until executed"]
+pub struct PlannedBatch {
+    joined_leaves: Vec<(MemberId, NodeId)>,
+    joins: usize,
+    leaves: usize,
 }
 
 /// Everything a [`RekeyEntry`] carries except the ciphertext.
@@ -257,6 +275,20 @@ impl LkhServer {
         self.tree.members_under(node)
     }
 
+    /// Buffer-reusing variant of [`LkhServer::members_under`]: appends
+    /// to `out` instead of allocating.
+    pub fn members_under_into(&self, node: NodeId, out: &mut Vec<MemberId>) {
+        self.tree.members_under_into(node, out);
+    }
+
+    /// Number of encryptions currently planned in the scratch arena
+    /// (non-zero only between [`LkhServer::plan_batch`] and
+    /// [`LkhServer::execute_planned`]). Multi-tree engines use this to
+    /// decide whether cross-tree fan-out is worth spawning threads.
+    pub fn planned_encryptions(&self) -> usize {
+        self.scratch.plan.len()
+    }
+
     /// Applies a batch of joins and leaves and returns the rekey
     /// message.
     ///
@@ -272,9 +304,33 @@ impl LkhServer {
         leaves: &[MemberId],
         rng: &mut R,
     ) -> Result<BatchOutcome, KeyTreeError> {
+        let _batch_span = rekey_obs::span!("rekey.batch");
+        let planned = self.plan_batch(joins, leaves, rng)?;
+        Ok(self.execute_planned(planned))
+    }
+
+    /// Phases 1–2 of batch rekeying: mutates the tree and plans every
+    /// encryption, drawing all randomness (fresh keys, nonces) from
+    /// `rng` in a fixed order. The returned token is passed to
+    /// [`LkhServer::execute_planned`] to produce the message.
+    ///
+    /// Callers composing several trees (see `rekey_core`'s engine)
+    /// plan all trees sequentially against the shared RNG, then
+    /// execute the plans in parallel — [`LkhServer::execute_planned`]
+    /// draws no randomness, so cross-tree execution order cannot
+    /// change a single output byte.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`LkhServer::try_apply_batch`].
+    pub fn plan_batch<R: RngCore>(
+        &mut self,
+        joins: &[(MemberId, Key)],
+        leaves: &[MemberId],
+        rng: &mut R,
+    ) -> Result<PlannedBatch, KeyTreeError> {
         self.epoch += 1;
         self.scratch.begin_batch();
-        let _batch_span = rekey_obs::span!("rekey.batch");
 
         // ---- Phase 1: tree mutation + fresh key generation --------
         let joined_leaves = {
@@ -311,7 +367,18 @@ impl LkhServer {
             }
         }
 
-        // ---- Phase 3: execute the plan on the worker pool ---------
+        Ok(PlannedBatch {
+            joined_leaves,
+            joins: joins.len(),
+            leaves: leaves.len(),
+        })
+    }
+
+    /// Phase 3 of batch rekeying: executes a plan produced by
+    /// [`LkhServer::plan_batch`] on the worker pool and assembles the
+    /// rekey message. Pure — no randomness, no tree mutation — so
+    /// composed trees may execute concurrently.
+    pub fn execute_planned(&mut self, planned: PlannedBatch) -> BatchOutcome {
         let entries = {
             let _span = rekey_obs::span!("rekey.execute");
             self.execute_plan()
@@ -319,19 +386,19 @@ impl LkhServer {
         rekey_obs::count("rekey.encrypted_keys", entries.len() as u64);
 
         let stats = BatchStats {
-            joins: joins.len(),
-            leaves: leaves.len(),
+            joins: planned.joins,
+            leaves: planned.leaves,
             refreshed_keys: self.scratch.dirty.len(),
             encrypted_keys: entries.len(),
         };
-        Ok(BatchOutcome {
+        BatchOutcome {
             message: RekeyMessage {
                 epoch: self.epoch,
                 entries,
             },
-            joined_leaves,
+            joined_leaves: planned.joined_leaves,
             stats,
-        })
+        }
     }
 
     /// Phase 1: applies the membership changes to the tree, recording

@@ -204,19 +204,28 @@ impl KeyTree {
     /// All members in the subtree rooted at `node` (empty if the node
     /// does not exist).
     pub fn members_under(&self, node: NodeId) -> Vec<MemberId> {
-        let Some(&start) = self.index_of.get(&node) else {
-            return Vec::new();
-        };
         let mut members = Vec::new();
+        self.members_under_into(node, &mut members);
+        members
+    }
+
+    /// Appends all members in the subtree rooted at `node` to `out`
+    /// (nothing if the node does not exist). Buffer-reusing variant of
+    /// [`KeyTree::members_under`] for hot loops that query many nodes:
+    /// the caller clears and reuses one `Vec` instead of allocating a
+    /// fresh one per node.
+    pub fn members_under_into(&self, node: NodeId, out: &mut Vec<MemberId>) {
+        let Some(&start) = self.index_of.get(&node) else {
+            return;
+        };
         let mut stack = vec![start];
         while let Some(idx) = stack.pop() {
             let n = self.node(idx);
             if let Some(m) = n.member {
-                members.push(m);
+                out.push(m);
             }
             stack.extend(&n.children);
         }
-        members
     }
 
     /// Number of members under `node` in O(1) (0 if it doesn't exist).

@@ -367,7 +367,9 @@ where
         }
 
         sample_interval(&out.stats);
-        let interest = interest_map(&out.message, |node| manager.members_under(node));
+        let interest = interest_map(&out.message, |node, out| {
+            manager.members_under_into(node, out)
+        });
         let pop = Population::from_map(
             interest
                 .keys()

@@ -290,7 +290,7 @@ mod tests {
     #[test]
     fn lossless_needs_only_round_one() {
         let (server, message, members) = setup(128, &[5, 80]);
-        let interest = interest_map(&message, |n| server.members_under(n));
+        let interest = interest_map(&message, |n, out| server.members_under_into(n, out));
         let pop = Population::homogeneous(&members, 0.0);
         let mut rng = StdRng::seed_from_u64(1);
         let outcome = deliver(&message, &interest, &pop, &cfg_verified(), &mut rng);
@@ -301,7 +301,7 @@ mod tests {
     #[test]
     fn lossy_delivery_reconstructs_blocks() {
         let (server, message, members) = setup(256, &[3, 99, 180, 201]);
-        let interest = interest_map(&message, |n| server.members_under(n));
+        let interest = interest_map(&message, |n, out| server.members_under_into(n, out));
         let mut rng = StdRng::seed_from_u64(2);
         let pop = Population::two_point(&members, 0.3, 0.2, 0.02, &mut rng);
         let outcome = deliver(&message, &interest, &pop, &cfg_verified(), &mut rng);
@@ -315,7 +315,7 @@ mod tests {
     #[test]
     fn proactivity_reduces_rounds() {
         let (server, message, members) = setup(256, &[1, 2, 3, 4, 5, 6, 7, 8]);
-        let interest = interest_map(&message, |n| server.members_under(n));
+        let interest = interest_map(&message, |n, out| server.members_under_into(n, out));
         let pop = Population::homogeneous(&members, 0.1);
 
         let mut rounds_lean = 0usize;
@@ -356,7 +356,7 @@ mod tests {
     fn high_loss_tail_inflates_cost() {
         // The §4 motivation, observed on the executable protocol.
         let (server, message, members) = setup(256, &[10, 20]);
-        let interest = interest_map(&message, |n| server.members_under(n));
+        let interest = interest_map(&message, |n, out| server.members_under_into(n, out));
         let mut pure = 0usize;
         let mut mixed = 0usize;
         for seed in 0..6u64 {
@@ -380,7 +380,7 @@ mod tests {
     #[test]
     fn round_budget_reports_incomplete() {
         let (server, message, members) = setup(64, &[0]);
-        let interest = interest_map(&message, |n| server.members_under(n));
+        let interest = interest_map(&message, |n, out| server.members_under_into(n, out));
         let pop = Population::homogeneous(&members, 0.6);
         let cfg = FecConfig {
             max_rounds: 1,

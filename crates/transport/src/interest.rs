@@ -14,22 +14,31 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Maps each receiver to the indices of the entries it needs.
 pub type InterestMap = BTreeMap<MemberId, BTreeSet<usize>>;
 
-/// Builds the interest map for `message` given an audience oracle
-/// (typically `|node| server.members_under(node)`).
+/// Builds the interest map for `message` given a buffer-filling
+/// audience oracle (typically
+/// `|node, out| server.members_under_into(node, out)`).
+///
+/// Entries are grouped by their `under` node first, so the oracle runs
+/// once per distinct node into a single reused buffer — the per-node
+/// audience `Vec` allocations of the naive formulation disappear from
+/// the simulation hot loop.
 ///
 /// Receivers with no interested entries are omitted.
 pub fn interest_map<F>(message: &RekeyMessage, mut members_under: F) -> InterestMap
 where
-    F: FnMut(NodeId) -> Vec<MemberId>,
+    F: FnMut(NodeId, &mut Vec<MemberId>),
 {
-    let mut map: InterestMap = BTreeMap::new();
-    let mut audience_cache: BTreeMap<NodeId, Vec<MemberId>> = BTreeMap::new();
+    let mut by_under: BTreeMap<NodeId, Vec<usize>> = BTreeMap::new();
     for (idx, entry) in message.entries.iter().enumerate() {
-        let audience = audience_cache
-            .entry(entry.under)
-            .or_insert_with(|| members_under(entry.under));
-        for &m in audience.iter() {
-            map.entry(m).or_default().insert(idx);
+        by_under.entry(entry.under).or_default().push(idx);
+    }
+    let mut map: InterestMap = BTreeMap::new();
+    let mut audience: Vec<MemberId> = Vec::new();
+    for (under, indices) in by_under {
+        audience.clear();
+        members_under(under, &mut audience);
+        for &m in &audience {
+            map.entry(m).or_default().extend(indices.iter().copied());
         }
     }
     map
@@ -59,7 +68,9 @@ mod tests {
         server.apply_batch(&joins, &[], &mut rng);
         let outcome = server.apply_batch(&[], &[MemberId(5)], &mut rng);
 
-        let map = interest_map(&outcome.message, |node| server.members_under(node));
+        let map = interest_map(&outcome.message, |node, out| {
+            server.members_under_into(node, out)
+        });
         // The departed member needs nothing.
         assert!(!map.contains_key(&MemberId(5)));
         // Every survivor needs at least the root update.
@@ -83,7 +94,9 @@ mod tests {
             .collect();
         server.apply_batch(&joins, &[], &mut rng);
         let outcome = server.apply_batch(&[], &[MemberId(9)], &mut rng);
-        let map = interest_map(&outcome.message, |node| server.members_under(node));
+        let map = interest_map(&outcome.message, |node, out| {
+            server.members_under_into(node, out)
+        });
         // A single departure updates one path: each member needs at
         // most ~h = log4(256) = 4 entries.
         for (m, set) in &map {

@@ -114,7 +114,7 @@ mod tests {
     #[test]
     fn completes_under_loss() {
         let (server, message, members) = setup(128, &[4, 90]);
-        let interest = interest_map(&message, |n| server.members_under(n));
+        let interest = interest_map(&message, |n, out| server.members_under_into(n, out));
         let pop = Population::homogeneous(&members, 0.1);
         let mut rng = StdRng::seed_from_u64(1);
         let report = deliver(
@@ -132,7 +132,7 @@ mod tests {
         // The paper (§2.2.1 / [SZJ02]): WKA-BKR has lower bandwidth
         // overhead than multi-send in most loss scenarios.
         let (server, message, members) = setup(256, &[3, 77, 130, 201]);
-        let interest = interest_map(&message, |n| server.members_under(n));
+        let interest = interest_map(&message, |n, out| server.members_under_into(n, out));
         let mut multi = 0usize;
         let mut wka = 0usize;
         for seed in 0..6u64 {
@@ -168,7 +168,7 @@ mod tests {
     #[should_panic(expected = "replication")]
     fn zero_replication_rejected() {
         let (server, message, members) = setup(8, &[0]);
-        let interest = interest_map(&message, |n| server.members_under(n));
+        let interest = interest_map(&message, |n, out| server.members_under_into(n, out));
         let pop = Population::homogeneous(&members, 0.0);
         let cfg = MultiSendConfig {
             replication: 0,

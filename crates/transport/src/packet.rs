@@ -1,23 +1,20 @@
-//! Packetization and wire encoding of rekey messages.
+//! Packetization of rekey messages.
 //!
 //! One [`Packet`] carries up to [`PacketConfig::capacity`] encrypted
 //! keys. The default capacity models a 1400-byte UDP payload holding
 //! ~100-byte serialized entries. Entries are referenced by their index
 //! in the originating [`RekeyMessage`] so the simulation layer can
-//! track interest and delivery cheaply; [`encode_entry`] /
-//! [`decode_entry`] provide the actual byte format used when real
-//! payloads are needed (the FEC transport encodes packets to bytes so
-//! Reed–Solomon operates on genuine data).
+//! track interest and delivery cheaply; the actual byte format lives
+//! in one place — [`rekey_keytree::message::codec`] — and this module
+//! re-exports it. [`Packet::to_bytes`] emits the codec's versioned
+//! block envelope (version byte, entry count, entries), which is what
+//! the FEC transport feeds to Reed–Solomon so parity is computed over
+//! genuine wire bytes.
 
-use bytes::{Buf, BufMut};
-use rekey_crypto::keywrap::WrappedKey;
-use rekey_keytree::message::{RekeyEntry, RekeyMessage};
-use rekey_keytree::NodeId;
+use rekey_keytree::message::codec;
+use rekey_keytree::message::RekeyMessage;
 
-/// Serialized entry size: 4 fixed u64s + flags + recipient +
-/// audience + depth + wrapped key.
-pub const ENTRY_WIRE_LEN: usize =
-    8 + 8 + 8 + 8 + 1 + 1 + 8 + 4 + 4 + rekey_crypto::keywrap::WRAPPED_LEN;
+pub use rekey_keytree::message::codec::{decode_block, decode_entry, encode_entry, ENTRY_WIRE_LEN};
 
 /// Packetization parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,62 +45,17 @@ impl Packet {
         self.entries.len()
     }
 
-    /// Serializes the packet's entries to bytes (length-prefixed).
+    /// Serializes the packet's entries as a versioned entry block
+    /// (see [`codec::encode_block`]); decode with
+    /// [`codec::decode_block`].
     pub fn to_bytes(&self, message: &RekeyMessage) -> Vec<u8> {
-        let mut buf = Vec::with_capacity(4 + self.entries.len() * ENTRY_WIRE_LEN);
-        buf.put_u32(self.entries.len() as u32);
-        for &idx in &self.entries {
-            encode_entry(&message.entries[idx], &mut buf);
-        }
+        let mut buf = Vec::new();
+        codec::encode_block(
+            self.entries.iter().map(|&idx| &message.entries[idx]),
+            &mut buf,
+        );
         buf
     }
-}
-
-/// Serializes one rekey entry into `buf`.
-pub fn encode_entry(entry: &RekeyEntry, buf: &mut Vec<u8>) {
-    buf.put_u64(entry.target.0);
-    buf.put_u64(entry.target_version);
-    buf.put_u64(entry.under.0);
-    buf.put_u64(entry.under_version);
-    buf.put_u8(u8::from(entry.under_is_leaf));
-    buf.put_u8(u8::from(entry.recipient.is_some()));
-    buf.put_u64(entry.recipient.map(|m| m.0).unwrap_or(0));
-    buf.put_u32(entry.audience);
-    buf.put_u32(entry.target_depth);
-    buf.put_slice(&entry.wrapped.to_bytes());
-}
-
-/// Deserializes one rekey entry from `buf`.
-///
-/// Returns `None` on truncated or malformed input.
-pub fn decode_entry(buf: &mut &[u8]) -> Option<RekeyEntry> {
-    if buf.remaining() < ENTRY_WIRE_LEN {
-        return None;
-    }
-    let target = NodeId(buf.get_u64());
-    let target_version = buf.get_u64();
-    let under = NodeId(buf.get_u64());
-    let under_version = buf.get_u64();
-    let under_is_leaf = buf.get_u8() != 0;
-    let has_recipient = buf.get_u8() != 0;
-    let recipient_raw = buf.get_u64();
-    let recipient = has_recipient.then_some(rekey_keytree::MemberId(recipient_raw));
-    let audience = buf.get_u32();
-    let target_depth = buf.get_u32();
-    let mut wrapped_bytes = [0u8; rekey_crypto::keywrap::WRAPPED_LEN];
-    buf.copy_to_slice(&mut wrapped_bytes);
-    let wrapped = WrappedKey::from_bytes(&wrapped_bytes).ok()?;
-    Some(RekeyEntry {
-        target,
-        target_version,
-        under,
-        under_version,
-        under_is_leaf,
-        recipient,
-        audience,
-        target_depth,
-        wrapped,
-    })
 }
 
 /// Packs entry indices into packets of at most `capacity` entries, in
@@ -193,12 +145,28 @@ mod tests {
         let packets = pack(&indices, 5, 0);
         for p in &packets {
             let bytes = p.to_bytes(&msg);
-            let mut slice = &bytes[4..];
-            for &idx in &p.entries {
-                let decoded = decode_entry(&mut slice).unwrap();
-                assert_eq!(&decoded, &msg.entries[idx]);
-            }
+            let mut slice = bytes.as_slice();
+            let decoded = decode_block(&mut slice).unwrap();
+            assert!(slice.is_empty());
+            let expected: Vec<_> = p
+                .entries
+                .iter()
+                .map(|&idx| msg.entries[idx].clone())
+                .collect();
+            assert_eq!(decoded, expected);
         }
+    }
+
+    #[test]
+    fn packet_bytes_reject_bad_version() {
+        let msg = sample_message();
+        let p = Packet {
+            seq: 0,
+            entries: vec![0, 1],
+        };
+        let mut bytes = p.to_bytes(&msg);
+        bytes[0] ^= 0xFF;
+        assert!(decode_block(&mut bytes.as_slice()).is_none());
     }
 
     #[test]

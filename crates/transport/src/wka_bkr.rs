@@ -260,7 +260,7 @@ mod tests {
     #[test]
     fn lossless_delivery_takes_one_round() {
         let (server, message, members) = setup(64, &[3]);
-        let interest = interest_map(&message, |n| server.members_under(n));
+        let interest = interest_map(&message, |n, out| server.members_under_into(n, out));
         let pop = Population::homogeneous(&members, 0.0);
         let mut rng = StdRng::seed_from_u64(1);
         let outcome = deliver(
@@ -279,7 +279,7 @@ mod tests {
     #[test]
     fn lossy_delivery_completes() {
         let (server, message, members) = setup(256, &[1, 50, 99, 200]);
-        let interest = interest_map(&message, |n| server.members_under(n));
+        let interest = interest_map(&message, |n, out| server.members_under_into(n, out));
         let mut rng = StdRng::seed_from_u64(2);
         let pop = Population::two_point(&members, 0.2, 0.2, 0.02, &mut rng);
         let outcome = deliver(
@@ -300,7 +300,7 @@ mod tests {
     #[test]
     fn retransmissions_shrink_across_rounds() {
         let (server, message, members) = setup(256, &[0, 64, 128]);
-        let interest = interest_map(&message, |n| server.members_under(n));
+        let interest = interest_map(&message, |n, out| server.members_under_into(n, out));
         let pop = Population::homogeneous(&members, 0.15);
         let mut rng = StdRng::seed_from_u64(3);
         let outcome = deliver(
@@ -327,7 +327,7 @@ mod tests {
         // With high loss, the root entries (audience = everyone) must
         // appear multiple times in round 1.
         let (server, message, members) = setup(256, &[7]);
-        let interest = interest_map(&message, |n| server.members_under(n));
+        let interest = interest_map(&message, |n, out| server.members_under_into(n, out));
         let pop = Population::homogeneous(&members, 0.2);
         let mut rng = StdRng::seed_from_u64(4);
         let outcome = deliver(
@@ -359,7 +359,7 @@ mod tests {
     #[test]
     fn loss_stats_are_collected() {
         let (server, message, members) = setup(64, &[2]);
-        let interest = interest_map(&message, |n| server.members_under(n));
+        let interest = interest_map(&message, |n, out| server.members_under_into(n, out));
         let pop = Population::homogeneous(&members, 0.3);
         let mut rng = StdRng::seed_from_u64(5);
         let outcome = deliver(
@@ -383,7 +383,7 @@ mod tests {
     #[test]
     fn receiver_volume_accounts_all_rounds() {
         let (server, message, members) = setup(128, &[3, 64]);
-        let interest = interest_map(&message, |n| server.members_under(n));
+        let interest = interest_map(&message, |n, out| server.members_under_into(n, out));
         let pop = Population::homogeneous(&members, 0.1);
         let mut rng = StdRng::seed_from_u64(8);
         let outcome = deliver(
@@ -409,7 +409,7 @@ mod tests {
     #[test]
     fn depth_first_packing_also_completes() {
         let (server, message, members) = setup(128, &[9, 70]);
-        let interest = interest_map(&message, |n| server.members_under(n));
+        let interest = interest_map(&message, |n, out| server.members_under_into(n, out));
         let pop = Population::homogeneous(&members, 0.1);
         let cfg = WkaBkrConfig {
             packing: Packing::DepthFirst,

@@ -8,7 +8,7 @@ use rekey_keytree::server::LkhServer;
 use rekey_keytree::MemberId;
 use rekey_transport::interest::{interest_map, total_interest};
 use rekey_transport::loss::Population;
-use rekey_transport::packet::{decode_entry, encode_entry, pack};
+use rekey_transport::packet::{decode_block, decode_entry, encode_entry, pack, Packet};
 use rekey_transport::rs::ReedSolomon;
 use rekey_transport::wka_bkr::{self, WkaBkrConfig};
 
@@ -84,6 +84,48 @@ proptest! {
         prop_assert!(slice.is_empty());
     }
 
+    /// A packet's versioned block envelope roundtrips for random
+    /// memberships, rejects every truncated prefix, and rejects a
+    /// corrupted version byte.
+    #[test]
+    fn packet_block_roundtrip_truncation_and_version(
+        n in 4u64..64, capacity in 1usize..10, seed in any::<u64>(),
+        cut in any::<proptest::sample::Index>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut server = LkhServer::new(3, 0);
+        let joins: Vec<(MemberId, Key)> = (0..n)
+            .map(|i| (MemberId(i), Key::generate(&mut rng)))
+            .collect();
+        server.apply_batch(&joins, &[], &mut rng);
+        let message = server.apply_batch(&[], &[MemberId(1)], &mut rng).message;
+
+        let indices: Vec<usize> = (0..message.entries.len()).collect();
+        for packet in pack(&indices, capacity, 0) {
+            let bytes = packet.to_bytes(&message);
+            let mut slice = bytes.as_slice();
+            let decoded = decode_block(&mut slice).unwrap();
+            prop_assert!(slice.is_empty());
+            let expected: Vec<_> = packet
+                .entries
+                .iter()
+                .map(|&idx| message.entries[idx].clone())
+                .collect();
+            prop_assert_eq!(decoded, expected);
+        }
+
+        // Truncation at a random cut point never panics and never
+        // yields a block (the envelope is length-framed).
+        let one = Packet { seq: 0, entries: indices.clone() };
+        let bytes = one.to_bytes(&message);
+        let cut = cut.index(bytes.len());
+        prop_assert!(decode_block(&mut &bytes[..cut]).is_none());
+
+        // A wrong version byte is rejected outright.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        prop_assert!(decode_block(&mut bad.as_slice()).is_none());
+    }
+
     /// WKA-BKR completes for any loss rate below 50% and any small
     /// group, and sends at least each needed entry once.
     #[test]
@@ -106,7 +148,7 @@ proptest! {
             .map(MemberId)
             .filter(|m| !leaving.contains(m))
             .collect();
-        let interest = interest_map(&out.message, |node| server.members_under(node));
+        let interest = interest_map(&out.message, |node, out| server.members_under_into(node, out));
         prop_assert!(total_interest(&interest) > 0);
         let pop = Population::homogeneous(&present, loss);
         let outcome = wka_bkr::deliver(

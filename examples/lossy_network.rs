@@ -93,7 +93,9 @@ fn main() {
                 Box::new(OneTreeManager::new(4))
             };
             let (session, message) = build(manager, seed);
-            let interest = interest_map(&message, |n| session.manager.members_under(n));
+            let interest = interest_map(&message, |n, out| {
+                session.manager.members_under_into(n, out)
+            });
             let mut rng = StdRng::seed_from_u64(1000 + seed);
             let outcome = wka_bkr::deliver(
                 &message,
@@ -119,7 +121,9 @@ fn main() {
         let (mut keys, mut rounds) = (0usize, 0usize);
         for seed in 0..runs {
             let (session, message) = build(Box::new(OneTreeManager::new(4)), seed);
-            let interest = interest_map(&message, |n| session.manager.members_under(n));
+            let interest = interest_map(&message, |n, out| {
+                session.manager.members_under_into(n, out)
+            });
             let mut rng = StdRng::seed_from_u64(2000 + seed);
             let outcome = fec::deliver(
                 &message,
@@ -142,7 +146,9 @@ fn main() {
         let (mut keys, mut rounds) = (0usize, 0usize);
         for seed in 0..runs {
             let (session, message) = build(Box::new(OneTreeManager::new(4)), seed);
-            let interest = interest_map(&message, |n| session.manager.members_under(n));
+            let interest = interest_map(&message, |n, out| {
+                session.manager.members_under_into(n, out)
+            });
             let mut rng = StdRng::seed_from_u64(3000 + seed);
             let report = multisend::deliver(
                 &message,

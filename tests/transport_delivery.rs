@@ -65,7 +65,7 @@ fn setup(seed: u64) -> Setup {
 #[test]
 fn wka_bkr_delivered_entries_suffice_to_rekey() {
     let mut s = setup(1);
-    let interest = interest_map(&s.message, |n| s.server.members_under(n));
+    let interest = interest_map(&s.message, |n, out| s.server.members_under_into(n, out));
     let mut rng = StdRng::seed_from_u64(7);
     let pop = Population::two_point(&s.present, 0.2, 0.2, 0.02, &mut rng);
     let outcome = wka_bkr::deliver(
@@ -95,7 +95,7 @@ fn wka_bkr_delivered_entries_suffice_to_rekey() {
 #[test]
 fn wka_bkr_bandwidth_tracks_appendix_b_model() {
     let s = setup(2);
-    let interest = interest_map(&s.message, |n| s.server.members_under(n));
+    let interest = interest_map(&s.message, |n, out| s.server.members_under_into(n, out));
 
     let mut measured = 0.0;
     let runs = 10;
@@ -135,7 +135,7 @@ fn loss_homogenized_delivery_saves_bandwidth_in_protocol() {
     for seed in 0..runs {
         // Mixed single tree.
         let s = setup(100 + seed);
-        let interest = interest_map(&s.message, |n| s.server.members_under(n));
+        let interest = interest_map(&s.message, |n, out| s.server.members_under_into(n, out));
         let mut rng = StdRng::seed_from_u64(9000 + seed);
         let pop = Population::two_point(&s.present, 0.3, 0.2, 0.02, &mut rng);
         let out = wka_bkr::deliver(
@@ -166,7 +166,7 @@ fn loss_homogenized_delivery_saves_bandwidth_in_protocol() {
                 .map(MemberId)
                 .filter(|m| !leavers.contains(m))
                 .collect();
-            let interest = interest_map(&out.message, |n| server.members_under(n));
+            let interest = interest_map(&out.message, |n, out| server.members_under_into(n, out));
             let pop = Population::homogeneous(&present, p);
             let delivered = wka_bkr::deliver(
                 &out.message,
@@ -189,7 +189,7 @@ fn loss_homogenized_delivery_saves_bandwidth_in_protocol() {
 #[test]
 fn fec_transport_completes_with_real_reed_solomon() {
     let s = setup(3);
-    let interest = interest_map(&s.message, |n| s.server.members_under(n));
+    let interest = interest_map(&s.message, |n, out| s.server.members_under_into(n, out));
     let mut rng = StdRng::seed_from_u64(77);
     let pop = Population::two_point(&s.present, 0.2, 0.2, 0.02, &mut rng);
     let cfg = fec::FecConfig {
@@ -205,7 +205,7 @@ fn protocol_ranking_under_loss() {
     // [SZJ02]: WKA-BKR < multi-send in bandwidth, in most loss
     // scenarios. Averaged over seeds for stability.
     let s = setup(4);
-    let interest = interest_map(&s.message, |n| s.server.members_under(n));
+    let interest = interest_map(&s.message, |n, out| s.server.members_under_into(n, out));
 
     let (mut wka, mut multi) = (0usize, 0usize);
     for seed in 0..8u64 {

@@ -215,7 +215,7 @@ pub mod strategy {
     impl_tuple_strategy!(A: 0, B: 1, C: 2);
     impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
 
-    /// Strategy for any [`Arbitrary`] type (`any::<T>()`).
+    /// Strategy for any [`crate::Arbitrary`] type (`any::<T>()`).
     pub struct AnyStrategy<T>(pub(crate) PhantomData<T>);
 
     impl<T> Clone for AnyStrategy<T> {
@@ -285,7 +285,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
