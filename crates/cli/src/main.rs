@@ -6,7 +6,8 @@
 //!     Evaluate the §3.3.1 analytic model: per-interval cost of the
 //!     one-keytree / TT / QT / PT schemes.
 //!
-//! rekey simulate  [--scheme one|tt|qt|pt|forest|combined] [--n 2048] [--k 10]
+//! rekey simulate  [--scheme one|tt|qt|pt|forest|combined|adaptive]
+//!                 [--n 2048] [--k 10]
 //!                 [--alpha 0.8] [--intervals 40] [--warmup 15]
 //!                 [--seed 42] [--verify] [--threads 1]
 //!                 [--trace out.trace.json] [--metrics out.prom]
@@ -32,6 +33,18 @@
 //!                 [--pl 0.02] [--protocol wka|fec|multisend] [--seed 1]
 //!     Deliver one real rekey message over simulated loss and report
 //!     the bandwidth and rounds.
+//!
+//! rekey fuzz      [--scheme one|tt|qt|pt|forest|combined|adaptive|all]
+//!                 [--seed 1 | --seed 1..=20] [--intervals 50]
+//!                 [--loss lossless|bernoulli|wka] [--workers 1]
+//!                 [--d 4] [--k 3]
+//!     Run the seed-driven churn fuzzer: generate a replayable
+//!     scenario per seed, drive real `GroupMember`s with the encoded
+//!     wire bytes through the chosen delivery model, and check every
+//!     interval against the shadow key-knowledge oracle (forward
+//!     secrecy, ring soundness, DEK confinement, liveness). On
+//!     failure the counterexample is shrunk and a replay command is
+//!     printed.
 //! ```
 
 mod args;
@@ -40,7 +53,7 @@ use args::Args;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rekey_analytic::partition::PartitionParams;
-use rekey_core::adaptive::{recommend, MixtureEstimate};
+use rekey_core::adaptive::{recommend, AdaptiveManager, MixtureEstimate};
 use rekey_core::combined::CombinedManager;
 use rekey_core::loss_forest::LossForestManager;
 use rekey_core::one_tree::OneTreeManager;
@@ -57,7 +70,7 @@ use rekey_transport::{fec, multisend, wka_bkr};
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: rekey <model|simulate|recommend|transport|trace-check> [--flag value ...]
+    "usage: rekey <model|simulate|recommend|transport|trace-check|fuzz> [--flag value ...]
 run `rekey help` or see the crate docs for the full flag list";
 
 fn main() -> ExitCode {
@@ -74,6 +87,7 @@ fn main() -> ExitCode {
         Some("recommend") => cmd_recommend(&args),
         Some("transport") => cmd_transport(&args),
         Some("trace-check") => cmd_trace_check(&args),
+        Some("fuzz") => cmd_fuzz(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -161,6 +175,7 @@ fn cmd_simulate(args: &Args) -> CliResult {
         "pt" => Box::new(PtManager::new(4)),
         "forest" => Box::new(LossForestManager::two_trees(4)),
         "combined" => Box::new(CombinedManager::two_loss_classes(4, k)),
+        "adaptive" => Box::new(AdaptiveManager::paper_default(4)),
         other => return Err(format!("unknown scheme {other:?}").into()),
     };
 
@@ -241,6 +256,83 @@ fn cmd_recommend(args: &Args) -> CliResult {
         rec.one_keytree_cost,
         100.0 * (1.0 - rec.predicted_cost / rec.one_keytree_cost)
     );
+    Ok(())
+}
+
+/// Parses `--seed` as either a single seed (`7`) or an inclusive
+/// range (`1..=20`).
+fn parse_seed_range(spec: &str) -> Result<(u64, u64), Box<dyn std::error::Error>> {
+    if let Some((lo, hi)) = spec.split_once("..=") {
+        let lo: u64 = lo.trim().parse()?;
+        let hi: u64 = hi.trim().parse()?;
+        if lo > hi {
+            return Err(format!("empty seed range {spec:?}").into());
+        }
+        Ok((lo, hi))
+    } else {
+        let seed: u64 = spec.trim().parse()?;
+        Ok((seed, seed))
+    }
+}
+
+fn cmd_fuzz(args: &Args) -> CliResult {
+    use rekey_testkit::{
+        factory_for, run_scenario, shrink, Delivery, GenParams, RunOptions, Scenario, SCHEMES,
+    };
+
+    let (seed_lo, seed_hi) = parse_seed_range(&args.get_or("seed", "1"))?;
+    let intervals: usize = args.get_parsed_or("intervals", 50usize)?;
+    let workers: usize = args.get_parsed_or("workers", 1usize)?;
+    let scheme = args.get_or("scheme", "all");
+    let loss = args.get_or("loss", "wka");
+    let delivery =
+        Delivery::parse(&loss).ok_or_else(|| format!("unknown delivery mode {loss:?}"))?;
+    let params = GenParams {
+        degree: args.get_parsed_or("d", 4u8)?,
+        k: args.get_parsed_or("k", 3u16)?,
+        ..GenParams::default()
+    };
+
+    let schemes: Vec<&str> = if scheme == "all" {
+        SCHEMES.to_vec()
+    } else {
+        let name = SCHEMES
+            .iter()
+            .find(|s| **s == scheme)
+            .ok_or_else(|| format!("unknown scheme {scheme:?}"))?;
+        vec![name]
+    };
+
+    let opts = RunOptions { delivery, workers };
+    let mut failures = 0usize;
+    for seed in seed_lo..=seed_hi {
+        let scenario = Scenario::generate(seed, intervals, &params);
+        for name in &schemes {
+            let factory = factory_for(name).expect("scheme name validated");
+            match run_scenario(&factory, &scenario, &opts) {
+                Ok(stats) => println!(
+                    "seed {seed} {name}: ok — {} intervals, {} entries ({} bytes), {} members at end",
+                    stats.intervals, stats.total_entries, stats.total_bytes, stats.final_members
+                ),
+                Err(violation) => {
+                    failures += 1;
+                    println!("seed {seed} {name}: FAIL at {violation}");
+                    let report = shrink(&factory, &scenario, &opts, violation, 400);
+                    println!(
+                        "  shrunk to {} ops over {} intervals ({} runs): {}",
+                        report.scenario.op_count(),
+                        report.scenario.intervals.len(),
+                        report.runs,
+                        report.violation
+                    );
+                    println!("  replay: {}", report.replay_command(name, delivery, workers));
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} fuzz failure(s)").into());
+    }
     Ok(())
 }
 

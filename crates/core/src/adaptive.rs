@@ -13,9 +13,14 @@
 //! [`rekey_analytic::partition`] over a grid of S-periods to pick the
 //! cheapest scheme.
 
+use crate::one_tree::OneTreeManager;
+use crate::partition::{QtManager, TtManager};
+use crate::{GroupKeyManager, IntervalOutcome, Join, JoinHint};
+use rand::RngCore;
 use rekey_analytic::partition::PartitionParams;
-use rekey_keytree::MemberId;
-use std::collections::HashMap;
+use rekey_crypto::Key;
+use rekey_keytree::{KeyTreeError, MemberId, NodeId};
+use std::collections::{BTreeMap, HashMap};
 
 /// Fitted two-class exponential mixture (the model of §3.3.1).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -233,6 +238,220 @@ pub fn recommend(
     best
 }
 
+// ---------------------------------------------------------------------
+// The adaptive manager: §3.4 as a running scheme
+// ---------------------------------------------------------------------
+
+/// Namespace base of the first adaptive generation; each rebuild
+/// advances by [`NS_GEN_STRIDE`] so node ids never collide with keys
+/// receivers learned under an earlier generation. The base sits far
+/// above the namespaces any concrete scheme uses on its own.
+const NS_GEN_BASE: u32 = 64;
+
+/// Namespaces consumed per generation (DEK + up to two partitions,
+/// rounded up for headroom).
+const NS_GEN_STRIDE: u32 = 4;
+
+/// The deployment loop of §3.4 as a [`GroupKeyManager`]: start with
+/// one key tree, collect the membership-duration trace, periodically
+/// re-fit the mixture and re-evaluate the analytic model, and switch
+/// to the recommended scheme when it changes.
+///
+/// A switch rebuilds the inner manager in a fresh node-id namespace
+/// and re-admits every present member in that interval's batch, so
+/// the rekey message carries one individually-addressed entry per
+/// member — receivers cross generations with no extra protocol:
+/// re-join entries are wrapped under individual keys exactly like
+/// first-time joins. Reported [`crate::IntervalStats`] keep the
+/// *caller's* join/leave counts; re-admissions surface as migrations.
+///
+/// [`GroupKeyManager::dek_node`] is stable *between* switches only.
+pub struct AdaptiveManager {
+    inner: Box<dyn GroupKeyManager>,
+    choice: SchemeChoice,
+    degree: usize,
+    rekey_period: f64,
+    reassess_every: u64,
+    max_k: u32,
+    collector: TraceCollector,
+    registry: BTreeMap<MemberId, (Key, JoinHint)>,
+    intervals: u64,
+    generation: u32,
+    parallelism: usize,
+}
+
+impl AdaptiveManager {
+    /// Creates an adaptive manager with tree degree `degree` that
+    /// re-evaluates the model every `reassess_every` intervals of
+    /// `rekey_period` seconds, considering S-periods up to `max_k`.
+    /// The session starts on the one-keytree scheme, as the paper
+    /// prescribes.
+    pub fn new(degree: usize, rekey_period: f64, reassess_every: u64, max_k: u32) -> Self {
+        AdaptiveManager {
+            inner: Box::new(OneTreeManager::with_namespace(degree, NS_GEN_BASE)),
+            choice: SchemeChoice::OneKeytree,
+            degree,
+            rekey_period,
+            reassess_every: reassess_every.max(1),
+            max_k,
+            collector: TraceCollector::new(4096),
+            registry: BTreeMap::new(),
+            intervals: 0,
+            generation: 0,
+            parallelism: 1,
+        }
+    }
+
+    /// Paper-default parameters: 60 s rekey interval, reassessment
+    /// every 8 intervals, S-periods up to `K = 20`.
+    pub fn paper_default(degree: usize) -> Self {
+        Self::new(degree, 60.0, 8, 20)
+    }
+
+    /// The scheme currently running underneath.
+    pub fn current_choice(&self) -> SchemeChoice {
+        self.choice
+    }
+
+    /// Number of scheme switches performed so far.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// Builds a fresh manager for `choice` in the next generation's
+    /// namespace block.
+    fn build(&self, choice: SchemeChoice, generation: u32) -> Box<dyn GroupKeyManager> {
+        let base = NS_GEN_BASE + generation * NS_GEN_STRIDE;
+        let mut mgr: Box<dyn GroupKeyManager> = match choice {
+            SchemeChoice::OneKeytree => Box::new(OneTreeManager::with_namespace(self.degree, base)),
+            SchemeChoice::Tt { k } => {
+                Box::new(TtManager::with_namespace_base(self.degree, k as u64, base))
+            }
+            SchemeChoice::Qt { k } => {
+                Box::new(QtManager::with_namespace_base(self.degree, k as u64, base))
+            }
+        };
+        mgr.set_parallelism(self.parallelism);
+        mgr
+    }
+}
+
+impl GroupKeyManager for AdaptiveManager {
+    fn process_interval(
+        &mut self,
+        joins: &[Join],
+        leaves: &[MemberId],
+        rng: &mut dyn RngCore,
+    ) -> Result<IntervalOutcome, KeyTreeError> {
+        // Validate against the registry up front so the batch is
+        // rejected before any state (inner, collector, registry)
+        // mutates — the same all-or-nothing contract the engine gives.
+        for &m in leaves {
+            if !self.registry.contains_key(&m) {
+                return Err(KeyTreeError::UnknownMember(m));
+            }
+        }
+        for j in joins {
+            if self.registry.contains_key(&j.member) {
+                return Err(KeyTreeError::DuplicateMember(j.member));
+            }
+        }
+
+        // Periodic reassessment (§3.4): re-fit the mixture, re-run the
+        // model, switch when the recommendation changes.
+        let switch = if self.intervals > 0 && self.intervals.is_multiple_of(self.reassess_every) {
+            let rec = recommend(
+                self.registry.len() as u64,
+                self.degree as u32,
+                self.rekey_period,
+                self.collector.estimate(),
+                self.max_k,
+            );
+            (rec.scheme != self.choice).then_some(rec.scheme)
+        } else {
+            None
+        };
+
+        let mut outcome = if let Some(choice) = switch {
+            // Rebuild: every surviving member re-joins the fresh
+            // manager (individually-keyed entries), this interval's
+            // joiners ride in the same batch, leavers simply never
+            // enter the new generation.
+            let generation = self.generation + 1;
+            let mut fresh = self.build(choice, generation);
+            let mut batch: Vec<Join> = self
+                .registry
+                .iter()
+                .filter(|(m, _)| !leaves.contains(m))
+                .map(|(&m, (key, hint))| Join {
+                    member: m,
+                    individual_key: key.clone(),
+                    hint: hint.clone(),
+                })
+                .collect();
+            let migrations = batch.len();
+            batch.extend(joins.iter().cloned());
+            let mut outcome = fresh.process_interval(&batch, &[], rng)?;
+            self.inner = fresh;
+            self.choice = choice;
+            self.generation = generation;
+            outcome.stats.migrations = migrations;
+            outcome
+        } else {
+            self.inner.process_interval(joins, leaves, rng)?
+        };
+        outcome.stats.joins = joins.len();
+        outcome.stats.leaves = leaves.len();
+
+        // Bookkeeping after the interval succeeded.
+        let t = self.intervals as f64 * self.rekey_period;
+        for &m in leaves {
+            self.registry.remove(&m);
+            self.collector.record_leave(m, t);
+        }
+        for j in joins {
+            self.registry
+                .insert(j.member, (j.individual_key.clone(), j.hint.clone()));
+            self.collector.record_join(j.member, t);
+        }
+        self.intervals += 1;
+        Ok(outcome)
+    }
+
+    fn set_parallelism(&mut self, workers: usize) {
+        self.parallelism = workers;
+        self.inner.set_parallelism(workers);
+    }
+
+    fn dek_node(&self) -> NodeId {
+        self.inner.dek_node()
+    }
+
+    fn dek(&self) -> &Key {
+        self.inner.dek()
+    }
+
+    fn member_count(&self) -> usize {
+        self.inner.member_count()
+    }
+
+    fn contains(&self, member: MemberId) -> bool {
+        self.inner.contains(member)
+    }
+
+    fn members_under(&self, node: NodeId) -> Vec<MemberId> {
+        self.inner.members_under(node)
+    }
+
+    fn members_under_into(&self, node: NodeId, out: &mut Vec<MemberId>) {
+        self.inner.members_under_into(node, out);
+    }
+
+    fn scheme_name(&self) -> &'static str {
+        "adaptive"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,5 +560,103 @@ mod tests {
             tc.record_leave(MemberId(i), 1.0 + i as f64);
         }
         assert_eq!(tc.sample_count(), 8);
+    }
+
+    use rekey_keytree::member::GroupMember;
+    use std::collections::BTreeMap as Map;
+
+    /// Drives an [`AdaptiveManager`] with full receiver states across
+    /// a scheme switch: members must stay DEK-synchronized through the
+    /// rebuild, and reported stats must keep the caller's counts.
+    #[test]
+    fn switch_preserves_member_sync() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut mgr = AdaptiveManager::new(4, 60.0, 1, 20);
+        // Pretend a long, clearly bimodal duration trace was already
+        // observed, so the first reassessment recommends partitioning.
+        for i in 0..1000u64 {
+            let m = MemberId(1_000_000 + i);
+            mgr.collector.record_join(m, 0.0);
+            let d = if i.is_multiple_of(5) { 10_800.0 } else { 180.0 };
+            mgr.collector.record_leave(m, d);
+        }
+        assert!(mgr.collector.estimate().is_some(), "trace must be bimodal");
+
+        let mut states: Map<MemberId, GroupMember> = Map::new();
+        let joins: Vec<Join> = (0..300u64)
+            .map(|i| {
+                let ik = Key::generate(&mut rng);
+                states.insert(MemberId(i), GroupMember::new(MemberId(i), ik.clone()));
+                Join::new(MemberId(i), ik)
+            })
+            .collect();
+        let out = mgr.process_interval(&joins, &[], &mut rng).unwrap();
+        for s in states.values_mut() {
+            let _ = s.process(&out.message);
+        }
+
+        let mut next_id = 300u64;
+        let mut departed: Vec<MemberId> = Vec::new();
+        for step in 0..4 {
+            let joins: Vec<Join> = (0..3)
+                .map(|_| {
+                    let m = MemberId(next_id);
+                    next_id += 1;
+                    let ik = Key::generate(&mut rng);
+                    states.insert(m, GroupMember::new(m, ik.clone()));
+                    Join::new(m, ik)
+                })
+                .collect();
+            let leaves = vec![MemberId(step * 7), MemberId(step * 7 + 1)];
+            let out = mgr.process_interval(&joins, &leaves, &mut rng).unwrap();
+            assert_eq!(out.stats.joins, 3);
+            assert_eq!(out.stats.leaves, 2);
+            departed.extend(&leaves);
+            for s in states.values_mut() {
+                let _ = s.process(&out.message);
+            }
+            for (id, s) in &states {
+                if departed.contains(id) {
+                    assert_ne!(
+                        s.key_for(mgr.dek_node()),
+                        Some(mgr.dek()),
+                        "departed {id} holds the DEK after step {step}"
+                    );
+                } else {
+                    assert_eq!(
+                        s.key_for(mgr.dek_node()),
+                        Some(mgr.dek()),
+                        "member {id} lost the DEK after step {step}"
+                    );
+                }
+            }
+        }
+        assert!(
+            mgr.generation() >= 1,
+            "bimodal trace never triggered a switch (still {:?})",
+            mgr.current_choice()
+        );
+        assert_ne!(mgr.current_choice(), SchemeChoice::OneKeytree);
+    }
+
+    #[test]
+    fn adaptive_rejects_inconsistent_batches() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut mgr = AdaptiveManager::paper_default(4);
+        let err = mgr
+            .process_interval(&[], &[MemberId(9)], &mut rng)
+            .unwrap_err();
+        assert_eq!(err, KeyTreeError::UnknownMember(MemberId(9)));
+
+        let ik = Key::generate(&mut rng);
+        mgr.process_interval(&[Join::new(MemberId(1), ik.clone())], &[], &mut rng)
+            .unwrap();
+        let err = mgr
+            .process_interval(&[Join::new(MemberId(1), ik)], &[], &mut rng)
+            .unwrap_err();
+        assert_eq!(err, KeyTreeError::DuplicateMember(MemberId(1)));
+        // The failed batches left no trace: the member is still there.
+        assert!(mgr.contains(MemberId(1)));
+        assert_eq!(mgr.member_count(), 1);
     }
 }

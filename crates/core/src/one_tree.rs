@@ -41,9 +41,18 @@ impl OneTreeManager {
     ///
     /// Panics if `degree < 2`.
     pub fn new(degree: usize) -> Self {
+        Self::with_namespace(degree, 0)
+    }
+
+    /// Like [`OneTreeManager::new`], but drawing node ids from
+    /// `namespace`. Callers that rebuild managers mid-session (e.g.
+    /// the adaptive scheme switcher) use a fresh namespace per
+    /// generation so node ids never collide with keys receivers still
+    /// hold.
+    pub fn with_namespace(degree: usize, namespace: u32) -> Self {
         RekeyEngine::with_trees(
             OneTreePolicy,
-            vec![("main", LkhServer::new(degree, 0))],
+            vec![("main", LkhServer::new(degree, namespace))],
             None,
         )
     }

@@ -30,9 +30,9 @@ use rekey_keytree::server::LkhServer;
 use rekey_keytree::{KeyTreeError, MemberId, NodeId};
 use std::collections::BTreeMap;
 
+/// Default namespace base: DEK keys in namespace 1, S-partition ids in
+/// 2, L-partition ids in 3 (see `with_namespace_base`).
 const NS_DEK: u32 = 1;
-const NS_S: u32 = 2;
-const NS_L: u32 = 3;
 
 /// Tree index of the S-partition in the two-tree schemes.
 const S: usize = 0;
@@ -116,6 +116,15 @@ impl TtManager {
     /// Creates a TT-scheme manager with tree degree `degree` and
     /// S-period `k` rekey intervals (`K = Ts/Tp`).
     pub fn new(degree: usize, k: u64) -> Self {
+        Self::with_namespace_base(degree, k, NS_DEK)
+    }
+
+    /// Like [`TtManager::new`], but drawing node ids from the three
+    /// namespaces `base` (DEK), `base + 1` (S-tree), `base + 2`
+    /// (L-tree). Callers that rebuild managers mid-session (e.g. the
+    /// adaptive scheme switcher) use a fresh base per generation so
+    /// node ids never collide with keys receivers still hold.
+    pub fn with_namespace_base(degree: usize, k: u64, base: u32) -> Self {
         RekeyEngine::with_trees(
             TtPolicy {
                 s_ages: BTreeMap::new(),
@@ -123,10 +132,10 @@ impl TtManager {
                 k,
             },
             vec![
-                ("s", LkhServer::new(degree, NS_S)),
-                ("l", LkhServer::new(degree, NS_L)),
+                ("s", LkhServer::new(degree, base + 1)),
+                ("l", LkhServer::new(degree, base + 2)),
             ],
-            Some(NS_DEK),
+            Some(base),
         )
     }
 
@@ -264,7 +273,7 @@ impl PlacementPolicy for QtPolicy {
     }
 
     fn internal_members_under(&self, node: NodeId) -> Option<Vec<MemberId>> {
-        (node.namespace() == NS_S).then(|| {
+        (node.namespace() == self.queue.namespace()).then(|| {
             self.queue
                 .iter()
                 .find(|s| s.node == node)
@@ -282,13 +291,20 @@ impl QtManager {
     /// Creates a QT-scheme manager with L-tree degree `degree` and
     /// S-period `k` rekey intervals.
     pub fn new(degree: usize, k: u64) -> Self {
+        Self::with_namespace_base(degree, k, NS_DEK)
+    }
+
+    /// Like [`QtManager::new`], but drawing node ids from the three
+    /// namespaces `base` (DEK), `base + 1` (queue slots), `base + 2`
+    /// (L-tree); see [`TtManager::with_namespace_base`].
+    pub fn with_namespace_base(degree: usize, k: u64, base: u32) -> Self {
         RekeyEngine::with_trees(
             QtPolicy {
-                queue: KeyQueue::new(NS_S),
+                queue: KeyQueue::new(base + 1),
                 k,
             },
-            vec![("l", LkhServer::new(degree, NS_L))],
-            Some(NS_DEK),
+            vec![("l", LkhServer::new(degree, base + 2))],
+            Some(base),
         )
     }
 
@@ -348,8 +364,8 @@ impl PtManager {
         RekeyEngine::with_trees(
             PtPolicy,
             vec![
-                ("s", LkhServer::new(degree, NS_S)),
-                ("l", LkhServer::new(degree, NS_L)),
+                ("s", LkhServer::new(degree, NS_DEK + 1)),
+                ("l", LkhServer::new(degree, NS_DEK + 2)),
             ],
             Some(NS_DEK),
         )
@@ -531,8 +547,9 @@ mod tests {
         assert_eq!(all.len(), 4);
         // Every entry addressed to a queue slot has exactly that
         // member as its audience.
+        let queue_ns = mgr.policy().queue.namespace();
         for (_, entry) in out.message.iter() {
-            if entry.under.namespace() == NS_S {
+            if entry.under.namespace() == queue_ns {
                 let audience = mgr.members_under(entry.under);
                 assert_eq!(audience, vec![entry.recipient.unwrap()]);
             }

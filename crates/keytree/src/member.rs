@@ -68,10 +68,25 @@ impl GroupMember {
         (self.processed_entries, self.decrypted_entries)
     }
 
+    /// Iterates over every `(node, version)` pair currently held
+    /// (excluding the individual key), in unspecified order. Test
+    /// harnesses compare this ring against an independent oracle of
+    /// the keys this member is *entitled* to.
+    pub fn held_keys(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.keys.iter().map(|(&n, &(v, _))| (n, v))
+    }
+
     fn try_entry(&mut self, entry: &RekeyEntry) -> Result<bool, KeyTreeError> {
-        // A key we already hold at the required version?
+        // A key we already hold at the required version? Never let a
+        // replayed or reordered entry roll a held key *back*: an entry
+        // only installs its target when it advances (or first
+        // establishes) the version we hold for that node.
         if let Some((version, key)) = self.keys.get(&entry.under) {
             if *version == entry.under_version {
+                let held = self.keys.get(&entry.target).map(|(v, _)| *v);
+                if held.is_some_and(|v| v >= entry.target_version) {
+                    return Ok(false);
+                }
                 let key = key.clone();
                 let new_key = keywrap::unwrap(&key, &entry.wrapped)?;
                 self.keys
@@ -90,8 +105,11 @@ impl GroupMember {
             let new_key = keywrap::unwrap(&self.individual, &entry.wrapped)?;
             self.keys
                 .insert(entry.under, (entry.under_version, self.individual.clone()));
-            self.keys
-                .insert(entry.target, (entry.target_version, new_key));
+            let held = self.keys.get(&entry.target).map(|(v, _)| *v);
+            if held.is_none_or(|v| v < entry.target_version) {
+                self.keys
+                    .insert(entry.target, (entry.target_version, new_key));
+            }
             return Ok(true);
         }
         Ok(false)

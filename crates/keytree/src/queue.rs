@@ -49,6 +49,11 @@ impl KeyQueue {
         }
     }
 
+    /// The namespace this queue draws its slot node ids from.
+    pub fn namespace(&self) -> u32 {
+        self.namespace
+    }
+
     /// Number of members currently queued (the paper's `Ns` for the
     /// QT-scheme).
     pub fn len(&self) -> usize {

@@ -3,6 +3,7 @@
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
+use rand::Rng;
 use rand::SeedableRng;
 use rekey_crypto::Key;
 use rekey_keytree::member::GroupMember;
@@ -166,5 +167,136 @@ proptest! {
         for (epoch, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
             prop_assert_eq!(s, p, "messages diverged at epoch {} with {} workers", epoch, workers);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Adversarial receiver hardening: between legitimate multicasts a
+    /// member is fed replays of arbitrary earlier messages with their
+    /// entries permuted (stale versions, out-of-order, re-addressed
+    /// noise). Processing must never error, never downgrade any held
+    /// key version, and never break the member's sync with the server.
+    #[test]
+    fn replays_and_permutations_never_downgrade(
+        ops in script(),
+        seed in any::<u64>(),
+        noise_seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut server = LkhServer::new(3, 0);
+
+        // Member 0 joins first and never leaves; it is the receiver
+        // under attack.
+        let ik = Key::generate(&mut rng);
+        let mut member = GroupMember::new(MemberId(0), ik.clone());
+        let bootstrap = server.apply_batch(&[(MemberId(0), ik)], &[], &mut rng);
+
+        // Build the full legitimate message history from churn around
+        // member 0, snapshotting the root key at every epoch (the
+        // member is replayed through the history below, so sync is
+        // judged against the root of the *same* epoch).
+        let mut roots = vec![(server.root_node(), server.root_key().clone())];
+        let mut history = vec![bootstrap.message];
+        let mut present: Vec<MemberId> = Vec::new();
+        let mut next = 1u64;
+        for chunk in ops.chunks(3) {
+            let mut joins = Vec::new();
+            let mut leaves = Vec::new();
+            for &op in chunk {
+                if op || present.len() <= leaves.len() {
+                    let m = MemberId(next);
+                    next += 1;
+                    joins.push((m, Key::generate(&mut rng)));
+                } else {
+                    leaves.push(present[leaves.len()]);
+                }
+            }
+            present.retain(|m| !leaves.contains(m));
+            present.extend(joins.iter().map(|&(m, _)| m));
+            history.push(server.apply_batch(&joins, &leaves, &mut rng).message);
+            roots.push((server.root_node(), server.root_key().clone()));
+        }
+
+        let mut noise = StdRng::seed_from_u64(noise_seed);
+        for idx in 0..history.len() {
+            member.process(&history[idx])
+                .expect("legitimate message must be accepted");
+            let snapshot: std::collections::BTreeMap<_, _> =
+                member.held_keys().collect();
+
+            // Replay a random earlier (or current) message with its
+            // entries shuffled.
+            let pick = noise.gen_range(0..idx + 1);
+            let mut replay = history[pick].clone();
+            let n = replay.entries.len();
+            for i in (1..n).rev() {
+                let j = noise.gen_range(0..i + 1);
+                replay.entries.swap(i, j);
+            }
+            member.process(&replay)
+                .expect("replayed/permuted message must not error");
+
+            for (node, version) in member.held_keys() {
+                if let Some(&held) = snapshot.get(&node) {
+                    prop_assert!(
+                        version >= held,
+                        "replay downgraded {node:?} from {held} to {version}"
+                    );
+                }
+            }
+            let (root, ref key) = roots[idx];
+            prop_assert_eq!(
+                member.key_for(root),
+                Some(key),
+                "noise broke the member's sync at epoch {}", idx
+            );
+        }
+    }
+
+    /// A fresh receiver fed a *permuted* message may miss keys (the
+    /// single-pass contract needs deepest-first order) but must not
+    /// panic, error, or end up holding a key version above what the
+    /// in-order message grants; reprocessing the original message then
+    /// completes its state exactly.
+    #[test]
+    fn permuted_bootstrap_is_safe_and_recoverable(
+        n in 2usize..40,
+        seed in any::<u64>(),
+        noise_seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut server = LkhServer::new(3, 0);
+        let joins: Vec<(MemberId, Key)> = (0..n as u64)
+            .map(|i| (MemberId(i), Key::generate(&mut rng)))
+            .collect();
+        let out = server.apply_batch(&joins, &[], &mut rng);
+
+        let mut reference = GroupMember::new(MemberId(0), joins[0].1.clone());
+        reference.process(&out.message).unwrap();
+        let expected: std::collections::BTreeMap<_, _> =
+            reference.held_keys().collect();
+
+        let mut noise = StdRng::seed_from_u64(noise_seed);
+        let mut shuffled = out.message.clone();
+        let len = shuffled.entries.len();
+        for i in (1..len).rev() {
+            let j = noise.gen_range(0..i + 1);
+            shuffled.entries.swap(i, j);
+        }
+
+        let mut victim = GroupMember::new(MemberId(0), joins[0].1.clone());
+        victim.process(&shuffled).expect("permuted message must not error");
+        for (node, version) in victim.held_keys() {
+            prop_assert_eq!(
+                Some(&version), expected.get(&node),
+                "permutation invented key {node:?}@{version}"
+            );
+        }
+
+        victim.process(&out.message).unwrap();
+        let recovered: std::collections::BTreeMap<_, _> = victim.held_keys().collect();
+        prop_assert_eq!(recovered, expected, "in-order reprocess must fully sync");
     }
 }

@@ -1,0 +1,77 @@
+//! End-to-end correctness harness for the group key management
+//! schemes: a deterministic churn fuzzer with a shadow key-knowledge
+//! oracle.
+//!
+//! The pieces, in pipeline order:
+//!
+//! - [`scenario`] — seed-driven generation of churn scenarios (joins
+//!   with duration/loss hints, leaves, mass departures, loss-class
+//!   changes) with a compact replayable byte encoding. Same seed ⇒
+//!   byte-identical scenario.
+//! - [`oracle`] — a [`oracle::KnowledgeOracle`] built purely from the
+//!   multicast rekey messages, independent of server internals: for
+//!   every `(node, version)` key ever on the wire, the exact member
+//!   set entitled to it.
+//! - [`farm`] — a [`farm::MemberFarm`] of real [`GroupMember`]s fed
+//!   only *encoded wire bytes* through a delivery model (lossless,
+//!   Bernoulli loss, or the WKA-BKR reliable transport). Departed
+//!   members keep receiving everything, modelling a replay adversary.
+//! - [`runner`] — [`runner::run_scenario`] glues the three together
+//!   and checks forward secrecy, ring soundness, DEK confinement,
+//!   bookkeeping, and (on complete deliveries) liveness after every
+//!   interval; [`runner::shrink`] minimizes failures to a small
+//!   replayable counterexample.
+//! - [`bugs`] — deliberately defective manager wrappers proving the
+//!   oracle catches the bug classes it targets.
+//!
+//! [`GroupMember`]: rekey_keytree::member::GroupMember
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bugs;
+pub mod farm;
+pub mod oracle;
+pub mod runner;
+pub mod scenario;
+
+pub use farm::{Delivery, MemberFarm};
+pub use oracle::KnowledgeOracle;
+pub use runner::{run_scenario, shrink, RunOptions, RunStats, ShrinkReport, Violation};
+pub use scenario::{GenParams, IntervalOps, JoinOp, Scenario};
+
+use rekey_core::adaptive::AdaptiveManager;
+use rekey_core::combined::CombinedManager;
+use rekey_core::loss_forest::LossForestManager;
+use rekey_core::one_tree::OneTreeManager;
+use rekey_core::partition::{PtManager, QtManager, TtManager};
+use rekey_core::GroupKeyManager;
+
+/// Command-line names of every scheme the fuzzer can drive.
+pub const SCHEMES: [&str; 7] = ["one", "tt", "qt", "pt", "forest", "combined", "adaptive"];
+
+/// Builds a manager by its command-line name; `None` for an unknown
+/// name. Degree and S-period come from the scenario so shrunk
+/// scenarios rebuild the identical configuration.
+pub fn manager_for(scheme: &str, degree: usize, k: u64) -> Option<Box<dyn GroupKeyManager>> {
+    Some(match scheme {
+        "one" => Box::new(OneTreeManager::new(degree)),
+        "tt" => Box::new(TtManager::new(degree, k)),
+        "qt" => Box::new(QtManager::new(degree, k)),
+        "pt" => Box::new(PtManager::new(degree)),
+        "forest" => Box::new(LossForestManager::two_trees(degree)),
+        "combined" => Box::new(CombinedManager::two_loss_classes(degree, k)),
+        "adaptive" => Box::new(AdaptiveManager::paper_default(degree)),
+        _ => return None,
+    })
+}
+
+/// A [`runner::ManagerFactory`] for a named scheme, reading degree and
+/// S-period from each scenario.
+pub fn factory_for(scheme: &str) -> Option<impl Fn(&Scenario) -> Box<dyn GroupKeyManager> + '_> {
+    manager_for(scheme, 4, 3)?; // validate the name eagerly
+    Some(move |s: &Scenario| {
+        manager_for(scheme, s.degree.max(2) as usize, u64::from(s.k.max(1)))
+            .expect("name validated above")
+    })
+}

@@ -1,0 +1,242 @@
+//! Shadow key-knowledge oracle.
+//!
+//! A pure model of *who can know what*, built from nothing but the
+//! rekey messages a server multicasts — completely independent of
+//! `LkhServer`'s internal bookkeeping, so a server bug cannot also
+//! corrupt the oracle's verdicts.
+//!
+//! The model: an entry `{target@tv} under@uv` lets any principal
+//! holding `under@uv` learn `target@tv`. The base case is an entry
+//! addressed to a member's individual (leaf) key — that grants the
+//! recipient both the leaf pair and the target pair. Knowledge is
+//! cumulative and never revoked: a member that once learned a key
+//! keeps it forever (members may be compromised or replay traffic
+//! after leaving). Secrecy must therefore come from *versioning*: a
+//! correct server never wraps a fresh key under a key a departed
+//! member holds, which the oracle checks by intersecting the holder
+//! set of every newly born `(node, version)` pair with the departed
+//! set.
+//!
+//! Soundness rests on node ids never being reused across tree
+//! rebuilds (the servers draw ids from per-generation namespaces), so
+//! `(NodeId, version)` uniquely names one key for all time.
+
+use rekey_keytree::message::RekeyMessage;
+use rekey_keytree::{MemberId, NodeId};
+use std::collections::{BTreeSet, HashMap};
+
+/// What one [`KnowledgeOracle::observe`] call learned from a message.
+#[derive(Debug, Default)]
+pub struct ObserveReport {
+    /// `(node, version)` pairs first seen in this message — the keys
+    /// "born" this interval. Forward secrecy is exactly: no departed
+    /// member is ever entitled to a born pair.
+    pub born: Vec<(NodeId, u64)>,
+    /// Every entitlement added by this message, `(member, node,
+    /// version)`. Liveness checks only need these deltas: once a
+    /// member is entitled and synced, it can never silently fall
+    /// behind without a newer grant appearing here first.
+    pub granted: Vec<(MemberId, NodeId, u64)>,
+}
+
+/// Cumulative key-knowledge model over a whole run.
+#[derive(Debug, Default)]
+pub struct KnowledgeOracle {
+    /// Every `(node, version)` ever seen on the wire, mapped to the
+    /// exact set of members entitled to it.
+    holders: HashMap<(NodeId, u64), BTreeSet<MemberId>>,
+    /// Highest version seen per node.
+    latest: HashMap<NodeId, u64>,
+}
+
+impl KnowledgeOracle {
+    /// An empty oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a member's individual key as `(leaf, version)` known
+    /// only to that member before any wire traffic references it.
+    /// (Servers address bootstrap entries *under* leaves, which the
+    /// observe base case handles, so this is only needed for direct
+    /// white-box tests.)
+    pub fn grant_leaf(&mut self, member: MemberId, leaf: NodeId, version: u64) {
+        self.note_pair(leaf, version, &mut Vec::new());
+        self.holders
+            .get_mut(&(leaf, version))
+            .expect("pair just noted")
+            .insert(member);
+    }
+
+    /// Folds one multicast message into the model and reports the
+    /// newly born pairs.
+    ///
+    /// Entitlement propagates to a fixpoint *within* the message (an
+    /// entry earlier in the vector may be decryptable only via a key
+    /// granted by a later one — order must not matter to the model,
+    /// only to single-pass receivers), and against everything learned
+    /// from all prior messages.
+    pub fn observe(&mut self, message: &RekeyMessage) -> ObserveReport {
+        let mut report = ObserveReport::default();
+
+        // Register every pair the message mentions (even ones nobody
+        // can decrypt yet) and apply the leaf-addressed base case.
+        for entry in &message.entries {
+            self.note_pair(entry.target, entry.target_version, &mut report.born);
+            self.note_pair(entry.under, entry.under_version, &mut report.born);
+            if entry.under_is_leaf {
+                if let Some(recipient) = entry.recipient {
+                    if self
+                        .holders
+                        .get_mut(&(entry.under, entry.under_version))
+                        .expect("pair just noted")
+                        .insert(recipient)
+                    {
+                        report
+                            .granted
+                            .push((recipient, entry.under, entry.under_version));
+                    }
+                }
+            }
+        }
+
+        // Propagate until stable: whoever holds `under@uv` learns
+        // `target@tv`.
+        loop {
+            let mut changed = false;
+            for entry in &message.entries {
+                let sources: Vec<MemberId> =
+                    match self.holders.get(&(entry.under, entry.under_version)) {
+                        Some(set) if !set.is_empty() => set.iter().copied().collect(),
+                        _ => continue,
+                    };
+                let sink = self
+                    .holders
+                    .get_mut(&(entry.target, entry.target_version))
+                    .expect("pair noted above");
+                for member in sources {
+                    if sink.insert(member) {
+                        changed = true;
+                        report
+                            .granted
+                            .push((member, entry.target, entry.target_version));
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        report
+    }
+
+    /// The members entitled to `(node, version)`, if the pair has ever
+    /// been seen.
+    pub fn entitled(&self, node: NodeId, version: u64) -> Option<&BTreeSet<MemberId>> {
+        self.holders.get(&(node, version))
+    }
+
+    /// Whether `member` is entitled to `(node, version)`.
+    pub fn is_entitled(&self, member: MemberId, node: NodeId, version: u64) -> bool {
+        self.holders
+            .get(&(node, version))
+            .is_some_and(|set| set.contains(&member))
+    }
+
+    /// Highest version the wire has ever carried for `node`.
+    pub fn latest(&self, node: NodeId) -> Option<u64> {
+        self.latest.get(&node).copied()
+    }
+
+    /// Iterates over every node with its latest version.
+    pub fn latest_pairs(&self) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.latest.iter().map(|(&n, &v)| (n, v))
+    }
+
+    /// Number of distinct `(node, version)` pairs tracked.
+    pub fn pair_count(&self) -> usize {
+        self.holders.len()
+    }
+
+    fn note_pair(&mut self, node: NodeId, version: u64, born: &mut Vec<(NodeId, u64)>) {
+        if let std::collections::hash_map::Entry::Vacant(slot) = self.holders.entry((node, version))
+        {
+            slot.insert(BTreeSet::new());
+            born.push((node, version));
+            let latest = self.latest.entry(node).or_insert(version);
+            if version > *latest {
+                *latest = version;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rekey_core::one_tree::OneTreeManager;
+    use rekey_core::{GroupKeyManager, Join};
+    use rekey_crypto::Key;
+
+    fn join(id: u64, rng: &mut StdRng) -> Join {
+        Join::new(MemberId(id), Key::generate(rng))
+    }
+
+    #[test]
+    fn oracle_tracks_join_and_leave_entitlement() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut mgr = OneTreeManager::new(2);
+        let mut oracle = KnowledgeOracle::new();
+
+        let joins: Vec<Join> = (0..4).map(|i| join(i, &mut rng)).collect();
+        let out = mgr.process_interval(&joins, &[], &mut rng).unwrap();
+        let report = oracle.observe(&out.message);
+        assert!(!report.born.is_empty());
+        let dek = mgr.dek_node();
+        let v0 = oracle.latest(dek).unwrap();
+        let entitled = oracle.entitled(dek, v0).unwrap();
+        assert_eq!(entitled.len(), 4, "all members entitled to the root");
+
+        let out = mgr.process_interval(&[], &[MemberId(1)], &mut rng).unwrap();
+        let report = oracle.observe(&out.message);
+        let v1 = oracle.latest(dek).unwrap();
+        assert!(v1 > v0, "root must rotate on leave");
+        // Every pair born by the leave excludes the departed member.
+        assert!(!report.born.is_empty());
+        for &(n, v) in &report.born {
+            assert!(
+                !oracle.is_entitled(MemberId(1), n, v),
+                "departed member entitled to fresh {n:?}@{v}"
+            );
+        }
+        // Old knowledge is never revoked.
+        assert!(oracle.is_entitled(MemberId(1), dek, v0));
+        // Survivors are entitled to the new root.
+        for id in [0u64, 2, 3] {
+            assert!(oracle.is_entitled(MemberId(id), dek, v1));
+        }
+    }
+
+    #[test]
+    fn propagation_reaches_fixpoint_regardless_of_entry_order() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut mgr = OneTreeManager::new(2);
+        let mut oracle = KnowledgeOracle::new();
+        let joins: Vec<Join> = (0..4).map(|i| join(i, &mut rng)).collect();
+        let out = mgr.process_interval(&joins, &[], &mut rng).unwrap();
+
+        let mut reversed = out.message.clone();
+        reversed.entries.reverse();
+        let mut oracle_rev = KnowledgeOracle::new();
+        oracle.observe(&out.message);
+        oracle_rev.observe(&reversed);
+
+        let dek = mgr.dek_node();
+        let v = oracle.latest(dek).unwrap();
+        assert_eq!(oracle.entitled(dek, v), oracle_rev.entitled(dek, v));
+        assert_eq!(oracle.pair_count(), oracle_rev.pair_count());
+    }
+}

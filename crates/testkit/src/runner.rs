@@ -1,0 +1,285 @@
+//! Scenario runner and counterexample shrinker.
+//!
+//! [`run_scenario`] drives one [`GroupKeyManager`] through a
+//! [`Scenario`]: every interval's output message is *encoded to wire
+//! bytes*, decoded back, folded into the [`KnowledgeOracle`],
+//! delivered to the [`MemberFarm`], and the full invariant suite runs.
+//! Churn and network randomness come from two independent seeded
+//! streams, so the verdict and the run digest are identical regardless
+//! of the manager's worker count.
+//!
+//! [`shrink`] bisects a failing scenario down to a minimal prefix and
+//! then greedily deletes whole intervals and individual operations
+//! (re-validating candidates with [`Scenario::sanitize`]) while the
+//! failure persists.
+
+use crate::farm::{Delivery, MemberFarm};
+use crate::oracle::KnowledgeOracle;
+use crate::scenario::Scenario;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rekey_core::{GroupKeyManager, Join};
+use rekey_crypto::sha256::Sha256;
+use rekey_keytree::message::codec;
+use rekey_keytree::MemberId;
+
+/// Builds a fresh manager for a scenario (degree/k come from the
+/// scenario so a shrunk scenario rebuilds the identical manager).
+pub type ManagerFactory<'a> = dyn Fn(&Scenario) -> Box<dyn GroupKeyManager> + 'a;
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Delivery model between server and present members.
+    pub delivery: Delivery,
+    /// Worker count handed to [`GroupKeyManager::set_parallelism`].
+    pub workers: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            delivery: Delivery::Lossless,
+            workers: 1,
+        }
+    }
+}
+
+/// A failed invariant, pinned to the interval that exposed it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Index into [`Scenario::intervals`] (0 = bootstrap).
+    pub interval: usize,
+    /// Human-readable description of the violated invariant.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "interval {}: {}", self.interval, self.detail)
+    }
+}
+
+/// Aggregates of a clean run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunStats {
+    /// Intervals executed.
+    pub intervals: usize,
+    /// Present members at the end of the run.
+    pub final_members: usize,
+    /// Total rekey entries multicast.
+    pub total_entries: usize,
+    /// Total wire bytes multicast.
+    pub total_bytes: usize,
+    /// SHA-256 over the concatenated wire bytes of every interval —
+    /// the determinism fingerprint (same seed, any worker count ⇒ same
+    /// digest).
+    pub digest: [u8; 32],
+}
+
+/// Runs `scenario` against a manager built by `factory` and returns
+/// run statistics, or the first invariant violation.
+pub fn run_scenario(
+    factory: &ManagerFactory,
+    scenario: &Scenario,
+    opts: &RunOptions,
+) -> Result<RunStats, Violation> {
+    let mut manager = factory(scenario);
+    manager.set_parallelism(opts.workers.max(1));
+
+    // Independent streams: worker count must not perturb the churn
+    // keys, and delivery draws must not perturb the server.
+    let mut churn_rng = StdRng::seed_from_u64(scenario.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut net_rng = StdRng::seed_from_u64(scenario.seed ^ 0x6A09_E667_F3BC_C908);
+
+    let mut oracle = KnowledgeOracle::new();
+    let mut farm = MemberFarm::new();
+    let mut hasher = Sha256::new();
+    let mut total_entries = 0usize;
+    let mut total_bytes = 0usize;
+
+    for (interval, ops) in scenario.intervals.iter().enumerate() {
+        let fail = |detail: String| Violation { interval, detail };
+
+        let mut joins = Vec::with_capacity(ops.joins.len());
+        for op in &ops.joins {
+            let key = rekey_crypto::Key::generate(&mut churn_rng);
+            farm.admit(MemberId(op.member), key.clone(), op.loss);
+            let mut join = Join::new(MemberId(op.member), key).with_loss_rate(op.loss);
+            if let Some(class) = op.class {
+                join = join.with_class(class);
+            }
+            joins.push(join);
+        }
+        let leaves: Vec<MemberId> = ops.leaves.iter().map(|&m| MemberId(m)).collect();
+        for &m in &leaves {
+            farm.depart(m);
+        }
+        for &(m, loss) in &ops.loss_changes {
+            farm.set_loss(MemberId(m), loss);
+        }
+
+        let out = manager
+            .process_interval(&joins, &leaves, &mut churn_rng)
+            .map_err(|e| fail(format!("manager rejected batch: {e}")))?;
+
+        let bytes = codec::encode_message(&out.message);
+        hasher.update(&bytes);
+        total_entries += out.message.encrypted_key_count();
+        total_bytes += bytes.len();
+        let decoded = codec::decode_message(&bytes)
+            .ok_or_else(|| fail("wire bytes failed to decode".into()))?;
+        if decoded != out.message {
+            return Err(fail("wire round-trip altered the message".into()));
+        }
+
+        let report = oracle.observe(&decoded);
+        let complete = farm
+            .deliver(&decoded, opts.delivery, manager.as_ref(), &mut net_rng)
+            .map_err(&fail)?;
+        farm.check(&oracle, manager.as_ref(), &report, complete)
+            .map_err(&fail)?;
+    }
+
+    Ok(RunStats {
+        intervals: scenario.intervals.len(),
+        final_members: farm.present().len(),
+        total_entries,
+        total_bytes,
+        digest: hasher.finalize(),
+    })
+}
+
+/// Outcome of shrinking a failing scenario.
+#[derive(Debug, Clone)]
+pub struct ShrinkReport {
+    /// The minimal failing scenario found.
+    pub scenario: Scenario,
+    /// The violation the minimal scenario triggers.
+    pub violation: Violation,
+    /// Scenario executions spent shrinking.
+    pub runs: usize,
+}
+
+impl ShrinkReport {
+    /// A `rekey-cli` command line replaying the *original* seed (the
+    /// shrunk scenario itself travels as ops, but the seed reproduces
+    /// the ancestor run end to end).
+    pub fn replay_command(&self, scheme: &str, delivery: Delivery, workers: usize) -> String {
+        format!(
+            "rekey fuzz --scheme {scheme} --seed {} --intervals {} --loss {} --workers {workers}",
+            self.scenario.seed,
+            self.scenario.intervals.len().saturating_sub(1),
+            delivery.name(),
+        )
+    }
+}
+
+/// Shrinks a failing scenario: first bisects to the shortest failing
+/// interval prefix, then greedily removes whole intervals, then
+/// individual operations, sanitizing each candidate. `budget` caps the
+/// number of scenario re-executions (each a full run).
+///
+/// The caller must have observed `scenario` fail under the same
+/// factory and options; if it unexpectedly passes, the original
+/// scenario is returned with the provided violation.
+pub fn shrink(
+    factory: &ManagerFactory,
+    scenario: &Scenario,
+    opts: &RunOptions,
+    violation: Violation,
+    budget: usize,
+) -> ShrinkReport {
+    let runs = std::cell::Cell::new(0usize);
+    let rerun = |candidate: &Scenario| -> Option<Violation> {
+        runs.set(runs.get() + 1);
+        run_scenario(factory, candidate, opts).err()
+    };
+
+    // The failure triggered at `violation.interval`, so the prefix up
+    // to and including it must fail too (runs are deterministic).
+    let mut best = scenario.clone();
+    best.intervals.truncate(violation.interval + 1);
+    let mut best_violation = match rerun(&best) {
+        Some(v) => v,
+        None => {
+            return ShrinkReport {
+                scenario: scenario.clone(),
+                violation,
+                runs: runs.get(),
+            }
+        }
+    };
+
+    // Greedy deletion passes, largest granularity first, repeated
+    // until a full pass removes nothing or the budget runs out.
+    let mut made_progress = true;
+    while made_progress && runs.get() < budget {
+        made_progress = false;
+
+        // Whole intervals (never the bootstrap shape: an empty
+        // interval is simply dropped).
+        let mut idx = 0;
+        while idx < best.intervals.len() && runs.get() < budget {
+            let mut candidate = best.clone();
+            candidate.intervals.remove(idx);
+            candidate.sanitize();
+            if let Some(v) = rerun(&candidate) {
+                best = candidate;
+                best_violation = v;
+                made_progress = true;
+            } else {
+                idx += 1;
+            }
+        }
+
+        // Individual operations.
+        let mut iv = 0;
+        while iv < best.intervals.len() && runs.get() < budget {
+            for kind in 0..3usize {
+                let mut op = 0;
+                loop {
+                    if runs.get() >= budget {
+                        break;
+                    }
+                    let mut candidate = best.clone();
+                    let ops = &mut candidate.intervals[iv];
+                    let len = match kind {
+                        0 => ops.leaves.len(),
+                        1 => ops.joins.len(),
+                        _ => ops.loss_changes.len(),
+                    };
+                    if op >= len {
+                        break;
+                    }
+                    match kind {
+                        0 => {
+                            ops.leaves.remove(op);
+                        }
+                        1 => {
+                            ops.joins.remove(op);
+                        }
+                        _ => {
+                            ops.loss_changes.remove(op);
+                        }
+                    }
+                    candidate.sanitize();
+                    if let Some(v) = rerun(&candidate) {
+                        best = candidate;
+                        best_violation = v;
+                        made_progress = true;
+                    } else {
+                        op += 1;
+                    }
+                }
+            }
+            iv += 1;
+        }
+    }
+
+    ShrinkReport {
+        scenario: best,
+        violation: best_violation,
+        runs: runs.get(),
+    }
+}

@@ -1,0 +1,349 @@
+//! Seed-driven churn scenarios with a compact, replayable byte
+//! encoding.
+//!
+//! A [`Scenario`] is the full ground truth of one fuzzer run: which
+//! members join (with duration-class and loss-rate hints), which
+//! leave, and whose network loss class changes, interval by interval.
+//! Scenarios are *valid by construction* (leavers are present, join
+//! ids are fresh) and every byte of a scenario is a pure function of
+//! the seed, so `--seed N` replays the identical run anywhere.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rekey_core::DurationClass;
+
+/// One join operation: the member, an optional duration-class hint
+/// (exercises oracle placement), and its network loss rate (exercises
+/// loss-forest placement and the lossy delivery modes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinOp {
+    /// Fresh member id (never reused within a scenario).
+    pub member: u64,
+    /// Duration-class hint attached to the join, if any.
+    pub class: Option<DurationClass>,
+    /// The member's packet-loss rate in `[0, 1)`.
+    pub loss: f64,
+}
+
+/// The operations of one rekey interval.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IntervalOps {
+    /// Members joining this interval.
+    pub joins: Vec<JoinOp>,
+    /// Members leaving this interval (present before the interval).
+    pub leaves: Vec<u64>,
+    /// Loss-class changes `(member, new loss rate)` for members that
+    /// remain present.
+    pub loss_changes: Vec<(u64, f64)>,
+}
+
+impl IntervalOps {
+    /// Total operations in this interval.
+    pub fn op_count(&self) -> usize {
+        self.joins.len() + self.leaves.len() + self.loss_changes.len()
+    }
+}
+
+/// A complete replayable churn scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// The seed this scenario was generated from (recorded for replay
+    /// commands; a shrunk scenario keeps its ancestor's seed).
+    pub seed: u64,
+    /// Key-tree degree for the manager under test.
+    pub degree: u8,
+    /// S-period (in intervals) for the partitioned schemes.
+    pub k: u16,
+    /// Per-interval operations; index 0 is the bootstrap interval.
+    pub intervals: Vec<IntervalOps>,
+}
+
+/// Tunables for [`Scenario::generate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenParams {
+    /// Members admitted in the bootstrap interval.
+    pub bootstrap: usize,
+    /// Key-tree degree recorded in the scenario.
+    pub degree: u8,
+    /// S-period recorded in the scenario.
+    pub k: u16,
+    /// Loss classes members are assigned to (all in `[0, 1)`).
+    pub loss_classes: Vec<f64>,
+}
+
+impl Default for GenParams {
+    fn default() -> Self {
+        GenParams {
+            bootstrap: 32,
+            degree: 4,
+            k: 3,
+            loss_classes: vec![0.2, 0.02, 0.0],
+        }
+    }
+}
+
+impl Scenario {
+    /// Total operations across all intervals.
+    pub fn op_count(&self) -> usize {
+        self.intervals.iter().map(IntervalOps::op_count).sum()
+    }
+
+    /// Generates the scenario for `seed`: a bootstrap interval
+    /// followed by `intervals` churn intervals mixing joins (with
+    /// hints), leaves, pure-join stretches, occasional mass
+    /// departures, and loss-class changes. Every call with the same
+    /// arguments returns a byte-identical scenario.
+    pub fn generate(seed: u64, intervals: usize, params: &GenParams) -> Scenario {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5CE9_A210_FA57_F00D);
+        let classes = &params.loss_classes;
+        let class = |rng: &mut StdRng| classes[rng.gen_range(0..classes.len().max(1))];
+        let mut next_id = 0u64;
+        let mut present: Vec<u64> = Vec::new();
+        let mut out: Vec<IntervalOps> = Vec::with_capacity(intervals + 1);
+
+        let mut make_joins = |n: usize, present: &mut Vec<u64>, rng: &mut StdRng| -> Vec<JoinOp> {
+            (0..n)
+                .map(|_| {
+                    let member = next_id;
+                    next_id += 1;
+                    present.push(member);
+                    JoinOp {
+                        member,
+                        class: match rng.gen_range(0u32..3) {
+                            0 => None,
+                            1 => Some(DurationClass::Short),
+                            _ => Some(DurationClass::Long),
+                        },
+                        loss: class(rng),
+                    }
+                })
+                .collect()
+        };
+
+        out.push(IntervalOps {
+            joins: make_joins(params.bootstrap, &mut present, &mut rng),
+            ..IntervalOps::default()
+        });
+
+        for _ in 0..intervals {
+            let mut ops = IntervalOps::default();
+
+            // Leaves come from the pre-interval membership; ~1 in 8
+            // intervals is a mass departure that empties a large slice
+            // of the group (stress for subtree collapse and queues).
+            let max_leaves = if rng.gen::<f64>() < 0.125 {
+                present.len() / 2
+            } else {
+                3
+            };
+            let n_leaves = if max_leaves == 0 || rng.gen::<f64>() < 0.2 {
+                0
+            } else {
+                rng.gen_range(0..max_leaves + 1)
+            };
+            for _ in 0..n_leaves.min(present.len()) {
+                let idx = rng.gen_range(0..present.len());
+                ops.leaves.push(present.swap_remove(idx));
+            }
+            ops.leaves.sort_unstable();
+
+            // Joins; ~1 in 6 intervals is join-free (exercises the
+            // pure-departure phases).
+            if rng.gen::<f64>() >= 1.0 / 6.0 {
+                ops.joins = make_joins(rng.gen_range(1..5), &mut present, &mut rng);
+            }
+
+            // Occasional loss-class change for a surviving member.
+            if !present.is_empty() && rng.gen::<f64>() < 0.2 {
+                let member = present[rng.gen_range(0..present.len())];
+                ops.loss_changes.push((member, class(&mut rng)));
+            }
+
+            out.push(ops);
+        }
+
+        Scenario {
+            seed,
+            degree: params.degree,
+            k: params.k,
+            intervals: out,
+        }
+    }
+
+    /// Serializes the scenario to its compact replayable byte form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32 + self.op_count() * 10);
+        buf.extend_from_slice(MAGIC);
+        buf.push(VERSION);
+        buf.extend_from_slice(&self.seed.to_be_bytes());
+        buf.push(self.degree);
+        buf.extend_from_slice(&self.k.to_be_bytes());
+        buf.extend_from_slice(&(self.intervals.len() as u32).to_be_bytes());
+        for iv in &self.intervals {
+            buf.extend_from_slice(&(iv.joins.len() as u32).to_be_bytes());
+            for j in &iv.joins {
+                buf.extend_from_slice(&j.member.to_be_bytes());
+                buf.push(match j.class {
+                    None => 0,
+                    Some(DurationClass::Short) => 1,
+                    Some(DurationClass::Long) => 2,
+                });
+                buf.extend_from_slice(&j.loss.to_bits().to_be_bytes());
+            }
+            buf.extend_from_slice(&(iv.leaves.len() as u32).to_be_bytes());
+            for m in &iv.leaves {
+                buf.extend_from_slice(&m.to_be_bytes());
+            }
+            buf.extend_from_slice(&(iv.loss_changes.len() as u32).to_be_bytes());
+            for (m, loss) in &iv.loss_changes {
+                buf.extend_from_slice(&m.to_be_bytes());
+                buf.extend_from_slice(&loss.to_bits().to_be_bytes());
+            }
+        }
+        buf
+    }
+
+    /// Deserializes a scenario written by [`Scenario::encode`].
+    /// Returns `None` on a bad magic/version, truncation, or trailing
+    /// bytes.
+    pub fn decode(bytes: &[u8]) -> Option<Scenario> {
+        let mut buf = bytes;
+        let magic = take(&mut buf, MAGIC.len())?;
+        if magic != MAGIC || *take(&mut buf, 1)?.first()? != VERSION {
+            return None;
+        }
+        let seed = get_u64(&mut buf)?;
+        let degree = *take(&mut buf, 1)?.first()?;
+        let k = u16::from_be_bytes(take(&mut buf, 2)?.try_into().ok()?);
+        let n_intervals = get_u32(&mut buf)? as usize;
+        let mut intervals = Vec::with_capacity(n_intervals.min(buf.len()));
+        for _ in 0..n_intervals {
+            let mut iv = IntervalOps::default();
+            for _ in 0..get_u32(&mut buf)? {
+                iv.joins.push(JoinOp {
+                    member: get_u64(&mut buf)?,
+                    class: match *take(&mut buf, 1)?.first()? {
+                        0 => None,
+                        1 => Some(DurationClass::Short),
+                        2 => Some(DurationClass::Long),
+                        _ => return None,
+                    },
+                    loss: f64::from_bits(get_u64(&mut buf)?),
+                });
+            }
+            for _ in 0..get_u32(&mut buf)? {
+                iv.leaves.push(get_u64(&mut buf)?);
+            }
+            for _ in 0..get_u32(&mut buf)? {
+                iv.loss_changes
+                    .push((get_u64(&mut buf)?, f64::from_bits(get_u64(&mut buf)?)));
+            }
+            intervals.push(iv);
+        }
+        buf.is_empty().then_some(Scenario {
+            seed,
+            degree,
+            k,
+            intervals,
+        })
+    }
+
+    /// Re-validates op ordering after arbitrary op removal (used by
+    /// the shrinker): drops leaves and loss changes that reference
+    /// members no longer joined, and duplicate joins. The result is a
+    /// scenario any manager accepts.
+    pub fn sanitize(&mut self) {
+        let mut joined = std::collections::BTreeSet::new();
+        let mut present = std::collections::BTreeSet::new();
+        for iv in &mut self.intervals {
+            iv.leaves.retain(|m| present.remove(m));
+            iv.joins.retain(|j| joined.insert(j.member));
+            for j in &iv.joins {
+                present.insert(j.member);
+            }
+            iv.loss_changes.retain(|(m, _)| present.contains(m));
+        }
+    }
+}
+
+const MAGIC: &[u8] = b"RKSC";
+const VERSION: u8 = 1;
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if buf.len() < n {
+        return None;
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Some(head)
+}
+
+fn get_u64(buf: &mut &[u8]) -> Option<u64> {
+    take(buf, 8).map(|b| u64::from_be_bytes(b.try_into().unwrap()))
+}
+
+fn get_u32(buf: &mut &[u8]) -> Option<u32> {
+    take(buf, 4).map(|b| u32::from_be_bytes(b.try_into().unwrap()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Scenario::generate(42, 30, &GenParams::default());
+        let b = Scenario::generate(42, 30, &GenParams::default());
+        assert_eq!(a, b);
+        assert_eq!(a.encode(), b.encode());
+        let c = Scenario::generate(43, 30, &GenParams::default());
+        assert_ne!(a.encode(), c.encode());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for seed in [0, 1, 7, 0xDEAD_BEEF] {
+            let s = Scenario::generate(seed, 25, &GenParams::default());
+            let bytes = s.encode();
+            assert_eq!(Scenario::decode(&bytes), Some(s));
+        }
+    }
+
+    #[test]
+    fn truncation_and_garbage_rejected() {
+        let s = Scenario::generate(3, 10, &GenParams::default());
+        let bytes = s.encode();
+        for cut in 0..bytes.len().min(64) {
+            assert_eq!(Scenario::decode(&bytes[..cut]), None, "cut at {cut}");
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(Scenario::decode(&padded), None);
+    }
+
+    #[test]
+    fn scenarios_are_valid_by_construction() {
+        let s = Scenario::generate(11, 80, &GenParams::default());
+        let mut sanitized = s.clone();
+        sanitized.sanitize();
+        assert_eq!(s, sanitized, "generator emitted an invalid op");
+        // Churn variety: some interval must leave, some must not.
+        assert!(s.intervals.iter().any(|iv| !iv.leaves.is_empty()));
+        assert!(s.intervals.iter().any(|iv| iv.leaves.is_empty()));
+        assert!(s.intervals.iter().any(|iv| !iv.loss_changes.is_empty()));
+    }
+
+    #[test]
+    fn sanitize_cascades_join_removal() {
+        let mut s = Scenario::generate(5, 40, &GenParams::default());
+        // Remove every join of the bootstrap interval: all later ops
+        // touching those members must be dropped.
+        let dropped: Vec<u64> = s.intervals[0].joins.iter().map(|j| j.member).collect();
+        s.intervals[0].joins.clear();
+        s.sanitize();
+        for iv in &s.intervals {
+            assert!(!iv.leaves.iter().any(|m| dropped.contains(m)));
+            assert!(!iv.loss_changes.iter().any(|(m, _)| dropped.contains(m)));
+        }
+    }
+}

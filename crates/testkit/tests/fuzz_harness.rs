@@ -1,0 +1,135 @@
+//! End-to-end tests of the fuzz harness itself: honest schemes
+//! survive churn under every delivery model, an injected
+//! forgot-to-rekey bug is caught and shrunk, and verdicts are
+//! independent of the worker count.
+
+use rekey_core::partition::TtManager;
+use rekey_core::GroupKeyManager;
+use rekey_testkit::bugs::SkipOneLeave;
+use rekey_testkit::{
+    factory_for, run_scenario, shrink, Delivery, GenParams, RunOptions, Scenario, SCHEMES,
+};
+
+fn generate(seed: u64, intervals: usize) -> Scenario {
+    Scenario::generate(seed, intervals, &GenParams::default())
+}
+
+#[test]
+fn honest_schemes_pass_lossless_churn() {
+    let scenario = generate(1, 25);
+    for scheme in SCHEMES {
+        let factory = factory_for(scheme).unwrap();
+        let opts = RunOptions {
+            delivery: Delivery::Lossless,
+            workers: 1,
+        };
+        let stats =
+            run_scenario(&factory, &scenario, &opts).unwrap_or_else(|v| panic!("{scheme}: {v}"));
+        assert_eq!(stats.intervals, 26);
+        assert!(stats.total_entries > 0);
+    }
+}
+
+#[test]
+fn honest_schemes_pass_bernoulli_loss() {
+    let scenario = generate(2, 20);
+    for scheme in ["one", "qt", "combined", "adaptive"] {
+        let factory = factory_for(scheme).unwrap();
+        let opts = RunOptions {
+            delivery: Delivery::Bernoulli,
+            workers: 1,
+        };
+        run_scenario(&factory, &scenario, &opts).unwrap_or_else(|v| panic!("{scheme}: {v}"));
+    }
+}
+
+#[test]
+fn honest_schemes_pass_wka_transport() {
+    let scenario = generate(3, 15);
+    for scheme in ["one", "tt", "forest"] {
+        let factory = factory_for(scheme).unwrap();
+        let opts = RunOptions {
+            delivery: Delivery::WkaBkr,
+            workers: 1,
+        };
+        run_scenario(&factory, &scenario, &opts).unwrap_or_else(|v| panic!("{scheme}: {v}"));
+    }
+}
+
+#[test]
+fn verdict_and_digest_identical_across_worker_counts() {
+    let scenario = generate(4, 20);
+    for scheme in ["one", "tt", "qt"] {
+        let factory = factory_for(scheme).unwrap();
+        let run = |workers| {
+            run_scenario(
+                &factory,
+                &scenario,
+                &RunOptions {
+                    delivery: Delivery::WkaBkr,
+                    workers,
+                },
+            )
+        };
+        let solo = run(1).unwrap_or_else(|v| panic!("{scheme}: {v}"));
+        let wide = run(8).unwrap_or_else(|v| panic!("{scheme}: {v}"));
+        assert_eq!(solo, wide, "{scheme}: worker count changed the run");
+    }
+}
+
+#[test]
+fn skipped_leave_rekey_is_caught_and_shrunk() {
+    // A server that silently skips one leaver's path refresh while
+    // keeping its own bookkeeping consistent: only the wire-level
+    // oracle can see that the departed member is still entitled to
+    // fresh keys.
+    let factory = |s: &Scenario| -> Box<dyn GroupKeyManager> {
+        Box::new(SkipOneLeave::new(TtManager::new(
+            s.degree.max(2) as usize,
+            u64::from(s.k.max(1)),
+        )))
+    };
+    let scenario = generate(5, 30);
+    let opts = RunOptions::default();
+    let violation = run_scenario(&factory, &scenario, &opts)
+        .expect_err("injected bug must violate an invariant");
+    assert!(
+        violation.detail.contains("forward secrecy") || violation.detail.contains("DEK"),
+        "unexpected violation kind: {violation}"
+    );
+
+    let report = shrink(&factory, &scenario, &opts, violation, 400);
+    // The shrunk scenario still fails, is no larger than the original,
+    // and is small in absolute terms: the bug needs one leave (plus
+    // the members that must exist for someone to leave).
+    assert!(run_scenario(&factory, &report.scenario, &opts).is_err());
+    assert!(report.scenario.op_count() <= scenario.op_count());
+    assert!(
+        report.scenario.op_count() <= 6,
+        "shrinker left {} ops",
+        report.scenario.op_count()
+    );
+    assert_eq!(
+        report
+            .scenario
+            .intervals
+            .iter()
+            .map(|iv| iv.leaves.len())
+            .sum::<usize>(),
+        1,
+        "minimal counterexample needs exactly one leave"
+    );
+    let replay = report.replay_command("tt", opts.delivery, opts.workers);
+    assert!(replay.contains("--seed 5"), "replay line: {replay}");
+}
+
+#[test]
+fn departed_member_replay_does_not_resurrect_access() {
+    // Long horizon, heavy churn: departed members receive every
+    // message forever; the DEK-confinement check would flag any of
+    // them clawing access back.
+    let scenario = generate(6, 40);
+    let factory = factory_for("combined").unwrap();
+    let stats = run_scenario(&factory, &scenario, &RunOptions::default()).unwrap();
+    assert!(stats.intervals == 41);
+}

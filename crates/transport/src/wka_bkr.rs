@@ -113,6 +113,12 @@ pub struct WkaBkrOutcome {
     /// fairness metric of §4.4: members keep receiving every multicast
     /// round even after they are satisfied.
     pub received_keys: BTreeMap<MemberId, u64>,
+    /// Message-entry indices each member actually received over the
+    /// whole run (union over rounds, needed or not). Deterministic
+    /// delivery hook for replay harnesses: feeding exactly these
+    /// entries to each member reproduces what the lossy multicast
+    /// delivered.
+    pub delivered: BTreeMap<MemberId, BTreeSet<usize>>,
 }
 
 /// Delivers `message` to every interested receiver over a lossy
@@ -135,6 +141,7 @@ pub fn deliver<R: Rng>(
     let mut rounds = Vec::new();
     let mut lost_packets: BTreeMap<MemberId, (u64, u64)> = BTreeMap::new();
     let mut received_keys: BTreeMap<MemberId, u64> = BTreeMap::new();
+    let mut delivered: BTreeMap<MemberId, BTreeSet<usize>> = BTreeMap::new();
     let mut seq = 0u64;
 
     while !pending.is_empty() && report.rounds < config.max_rounds {
@@ -207,13 +214,14 @@ pub fn deliver<R: Rng>(
                 }
             }
             if let Some(set) = pending.get_mut(&member) {
-                for idx in received {
+                for &idx in &received {
                     set.remove(&idx);
                 }
                 if set.is_empty() {
                     pending.remove(&member);
                 }
             }
+            delivered.entry(member).or_default().extend(received);
         }
 
         rounds.push(RoundTrace {
@@ -229,6 +237,7 @@ pub fn deliver<R: Rng>(
         rounds,
         lost_packets,
         received_keys,
+        delivered,
     }
 }
 
@@ -404,6 +413,31 @@ mod tests {
             (0.9..1.1).contains(&ratio),
             "receiver volume {total} vs expected {expected:.0}"
         );
+    }
+
+    #[test]
+    fn delivered_indices_cover_interest_when_complete() {
+        let (server, message, members) = setup(128, &[5, 40]);
+        let interest = interest_map(&message, |n, out| server.members_under_into(n, out));
+        let pop = Population::homogeneous(&members, 0.15);
+        let mut rng = StdRng::seed_from_u64(11);
+        let outcome = deliver(
+            &message,
+            &interest,
+            &pop,
+            &WkaBkrConfig::default(),
+            &mut rng,
+        );
+        assert!(outcome.report.complete);
+        // A complete delivery means every member received at least its
+        // needed entries; the delivered sets record the full union.
+        for (m, needed) in &interest {
+            let got = outcome.delivered.get(m).expect("member saw packets");
+            assert!(
+                needed.is_subset(got),
+                "member {m} missing entries: needed {needed:?}, got {got:?}"
+            );
+        }
     }
 
     #[test]

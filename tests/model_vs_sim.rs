@@ -5,7 +5,9 @@
 //! A discrete-event simulation of the real key server — actual trees,
 //! actual key wrapping, actual migrations — must land close to the
 //! closed-form steady-state costs of §3.3.1, and preserve the paper's
-//! scheme ordering.
+//! scheme ordering. Every comparison sweeps several workload seeds and
+//! reports the worst-case model/sim deviation, so a single lucky draw
+//! can neither pass nor fail the suite.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,7 +19,8 @@ use rekey_sim::driver::{run_scheme, SimConfig};
 use rekey_sim::membership::{MembershipGenerator, MembershipParams};
 
 const N: usize = 2048;
-const SEED: u64 = 20030412;
+/// Independent workload seeds; deviation bounds must hold for all.
+const SEEDS: [u64; 3] = [20030412, 7, 424242];
 
 fn sim_params() -> MembershipParams {
     MembershipParams {
@@ -34,8 +37,8 @@ fn model(k: u32) -> PartitionParams {
     }
 }
 
-fn simulate(manager: &mut dyn GroupKeyManager) -> f64 {
-    let mut rng = StdRng::seed_from_u64(SEED);
+fn simulate(manager: &mut dyn GroupKeyManager, seed: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut generator = MembershipGenerator::new(sim_params(), &mut rng);
     let config = SimConfig {
         intervals: 50,
@@ -45,71 +48,134 @@ fn simulate(manager: &mut dyn GroupKeyManager) -> f64 {
     run_scheme(manager, &mut generator, &config, &mut rng).mean_keys_per_interval
 }
 
+/// Sweeps every seed, requires each run's measured cost within
+/// `tolerance` of the model, and reports the worst-case deviation.
+///
 /// The simulation runs a slightly lighter workload than the model
 /// (members joining and leaving within one interval are never
-/// admitted), so we allow a modest tolerance band.
-fn assert_close(measured: f64, predicted: f64, tolerance: f64, label: &str) {
-    let ratio = measured / predicted;
-    assert!(
-        ((1.0 - tolerance)..(1.0 + tolerance)).contains(&ratio),
-        "{label}: measured {measured:.0} vs model {predicted:.0} (ratio {ratio:.3})"
+/// admitted), so the band is a modest one.
+fn assert_close_over_seeds(
+    mut make: impl FnMut() -> Box<dyn GroupKeyManager>,
+    predicted: f64,
+    tolerance: f64,
+    label: &str,
+) {
+    let mut worst_dev = 0.0f64;
+    let mut worst_seed = SEEDS[0];
+    for &seed in &SEEDS {
+        let measured = simulate(make().as_mut(), seed);
+        let ratio = measured / predicted;
+        let dev = (ratio - 1.0).abs();
+        if dev > worst_dev {
+            worst_dev = dev;
+            worst_seed = seed;
+        }
+        assert!(
+            dev <= tolerance,
+            "{label} @ seed {seed}: measured {measured:.0} vs model {predicted:.0} \
+             (ratio {ratio:.3})"
+        );
+    }
+    println!(
+        "{label}: worst-case model/sim deviation {:.1}% (seed {worst_seed}) over {} seeds",
+        100.0 * worst_dev,
+        SEEDS.len()
     );
 }
 
 #[test]
 fn one_keytree_cost_matches_model() {
-    let measured = simulate(&mut OneTreeManager::new(4));
-    assert_close(measured, model(10).cost_one_keytree(), 0.15, "one-keytree");
+    assert_close_over_seeds(
+        || Box::new(OneTreeManager::new(4)),
+        model(10).cost_one_keytree(),
+        0.15,
+        "one-keytree",
+    );
 }
 
 #[test]
 fn tt_cost_matches_model() {
-    let measured = simulate(&mut TtManager::new(4, 10));
-    assert_close(measured, model(10).cost_tt(), 0.15, "tt-scheme");
+    assert_close_over_seeds(
+        || Box::new(TtManager::new(4, 10)),
+        model(10).cost_tt(),
+        0.15,
+        "tt-scheme",
+    );
 }
 
 #[test]
 fn qt_cost_matches_model() {
-    let measured = simulate(&mut QtManager::new(4, 10));
-    assert_close(measured, model(10).cost_qt(), 0.15, "qt-scheme");
+    assert_close_over_seeds(
+        || Box::new(QtManager::new(4, 10)),
+        model(10).cost_qt(),
+        0.15,
+        "qt-scheme",
+    );
 }
 
 #[test]
 fn scheme_ordering_is_preserved() {
     // Fig. 3 at K = 10, α = 0.8: both partition schemes beat the
-    // one-keytree scheme, on the executable system too.
-    let one = simulate(&mut OneTreeManager::new(4));
-    let tt = simulate(&mut TtManager::new(4, 10));
-    let qt = simulate(&mut QtManager::new(4, 10));
-    assert!(tt < one, "TT ({tt:.0}) should beat one-keytree ({one:.0})");
-    assert!(qt < one, "QT ({qt:.0}) should beat one-keytree ({one:.0})");
-
+    // one-keytree scheme, on the executable system too — for every
+    // workload seed, with the TT gain tracking the model's prediction.
     let predicted_gain = 1.0 - model(10).cost_tt() / model(10).cost_one_keytree();
-    let measured_gain = 1.0 - tt / one;
-    assert!(
-        (measured_gain - predicted_gain).abs() < 0.08,
-        "TT gain: measured {measured_gain:.3} vs model {predicted_gain:.3}"
+    let mut worst_gap = 0.0f64;
+    for &seed in &SEEDS {
+        let one = simulate(&mut OneTreeManager::new(4), seed);
+        let tt = simulate(&mut TtManager::new(4, 10), seed);
+        let qt = simulate(&mut QtManager::new(4, 10), seed);
+        assert!(
+            tt < one,
+            "seed {seed}: TT ({tt:.0}) should beat one-keytree ({one:.0})"
+        );
+        assert!(
+            qt < one,
+            "seed {seed}: QT ({qt:.0}) should beat one-keytree ({one:.0})"
+        );
+        let measured_gain = 1.0 - tt / one;
+        let gap = (measured_gain - predicted_gain).abs();
+        worst_gap = worst_gap.max(gap);
+        assert!(
+            gap < 0.08,
+            "seed {seed}: TT gain measured {measured_gain:.3} vs model {predicted_gain:.3}"
+        );
+    }
+    println!(
+        "tt gain: worst-case gap to model {:.1}% over {} seeds",
+        100.0 * worst_gap,
+        SEEDS.len()
     );
 }
 
 #[test]
 fn join_rate_matches_queueing_model() {
-    // The generator reproduces the J of equations (1)–(5).
-    let mut rng = StdRng::seed_from_u64(SEED);
+    // The generator reproduces the J of equations (1)–(5) under every
+    // seed.
     let params = sim_params();
-    let mut generator = MembershipGenerator::new(params, &mut rng);
     let expected = params.joins_per_interval();
-    let mut joins = 0usize;
-    let mut transient = 0usize;
-    let rounds = 150;
-    for _ in 0..rounds {
-        let ev = generator.next_interval(&mut rng);
-        joins += ev.joins.len();
-        transient += ev.transient;
+    let mut worst = 0.0f64;
+    for &seed in &SEEDS {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut generator = MembershipGenerator::new(params, &mut rng);
+        let mut joins = 0usize;
+        let mut transient = 0usize;
+        let rounds = 150;
+        for _ in 0..rounds {
+            let ev = generator.next_interval(&mut rng);
+            joins += ev.joins.len();
+            transient += ev.transient;
+        }
+        let measured = (joins + transient) as f64 / rounds as f64;
+        let dev = (measured / expected - 1.0).abs();
+        worst = worst.max(dev);
+        assert!(
+            dev < 0.1,
+            "seed {seed}: arrival rate {measured:.1} vs model J {expected:.1}"
+        );
     }
-    let measured = (joins + transient) as f64 / rounds as f64;
-    assert!(
-        (measured / expected - 1.0).abs() < 0.1,
-        "arrival rate {measured:.1} vs model J {expected:.1}"
+    println!(
+        "join rate: worst-case deviation {:.1}% over {} seeds",
+        100.0 * worst,
+        SEEDS.len()
     );
 }

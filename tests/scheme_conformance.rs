@@ -21,6 +21,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rekey_core::adaptive::AdaptiveManager;
 use rekey_core::combined::CombinedManager;
 use rekey_core::loss_forest::LossForestManager;
 use rekey_core::one_tree::OneTreeManager;
@@ -195,7 +196,7 @@ fn run_script(mut mgr: Box<dyn GroupKeyManager>, workers: usize) -> Vec<Vec<u8>>
 /// encodings of every interval's rekey message, per scheme. Pinned
 /// from the pre-engine managers; the engine refactor reproduced them
 /// byte for byte.
-const GOLDEN_DIGESTS: [(&str, &str); 6] = [
+const GOLDEN_DIGESTS: [(&str, &str); 7] = [
     (
         "one-keytree",
         "97604917abca4ee22227541061e8ff1ab41525e36cfd08edf0b6042c8c75afc8",
@@ -220,6 +221,10 @@ const GOLDEN_DIGESTS: [(&str, &str); 6] = [
         "combined-partition-forest",
         "a07fa54cb0314090dd02653a7d3806765b4161993fafe1077e94a9b46b1f6247",
     ),
+    (
+        "adaptive",
+        "db50b055fc82474b758e7e0e773519ee89e8985f63cd20e85ae3332576f831c1",
+    ),
 ];
 
 fn managers() -> Vec<Box<dyn GroupKeyManager>> {
@@ -230,6 +235,7 @@ fn managers() -> Vec<Box<dyn GroupKeyManager>> {
         Box::new(PtManager::new(4)),
         Box::new(LossForestManager::two_trees(4)),
         Box::new(CombinedManager::two_loss_classes(4, 3)),
+        Box::new(AdaptiveManager::paper_default(4)),
     ]
 }
 
