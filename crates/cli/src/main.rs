@@ -45,6 +45,26 @@
 //!     secrecy, ring soundness, DEK confinement, liveness). On
 //!     failure the counterexample is shrunk and a replay command is
 //!     printed.
+//!
+//! rekey serve     [--addr 127.0.0.1:0] [--scheme tt] [--d 4] [--k 10]
+//!                 [--members 16] [--intervals 50] [--seed 42]
+//!                 [--key-seed 7] [--period-ms 200] [--net-workers 2]
+//!                 [--smoke]
+//!     Run `rekeyd`, the threaded TCP key-distribution daemon:
+//!     bootstrap `--members` demo members (individual keys derived
+//!     from `--key-seed`), then publish one rekey epoch every
+//!     `--period-ms` and fan each epoch out to every connected
+//!     client. `--smoke` additionally runs every member as an
+//!     in-process socket client against the daemon and verifies all
+//!     of them arrive at the group DEK with byte-identical wire
+//!     digests — the single-process loopback CI job.
+//!
+//! rekey client    --addr HOST:PORT [--member 0] [--key-seed 7]
+//!                 [--from 1] [--idle-ms 3000]
+//!     Connect a real group member to a running `rekeyd`, follow the
+//!     epoch stream (reconnecting with backoff, NACKing gaps), and
+//!     report the final key state when the server says goodbye or the
+//!     stream goes idle.
 //! ```
 
 mod args;
@@ -53,24 +73,24 @@ use args::Args;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rekey_analytic::partition::PartitionParams;
-use rekey_core::adaptive::{recommend, AdaptiveManager, MixtureEstimate};
-use rekey_core::combined::CombinedManager;
-use rekey_core::loss_forest::LossForestManager;
-use rekey_core::one_tree::OneTreeManager;
-use rekey_core::partition::{PtManager, QtManager, TtManager};
-use rekey_core::GroupKeyManager;
+use rekey_core::adaptive::{recommend, MixtureEstimate};
+use rekey_core::{Join, Scheme, SchemeConfig};
+use rekey_crypto::sha256::Sha256;
 use rekey_crypto::Key;
+use rekey_keytree::message::{codec, RekeyMessage};
 use rekey_keytree::server::LkhServer;
 use rekey_keytree::MemberId;
+use rekey_net::{demo_member_key, ClientConfig, NetError, RekeyClient, Rekeyd, ServerConfig};
 use rekey_sim::driver::{run_scheme, SimConfig};
 use rekey_sim::membership::{MembershipGenerator, MembershipParams};
 use rekey_transport::interest::interest_map;
 use rekey_transport::loss::Population;
 use rekey_transport::{fec, multisend, wka_bkr};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str =
-    "usage: rekey <model|simulate|recommend|transport|trace-check|fuzz> [--flag value ...]
+    "usage: rekey <model|simulate|recommend|transport|trace-check|fuzz|serve|client> [--flag value ...]
 run `rekey help` or see the crate docs for the full flag list";
 
 fn main() -> ExitCode {
@@ -88,6 +108,8 @@ fn main() -> ExitCode {
         Some("transport") => cmd_transport(&args),
         Some("trace-check") => cmd_trace_check(&args),
         Some("fuzz") => cmd_fuzz(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("client") => cmd_client(&args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -152,8 +174,9 @@ fn cmd_model(args: &Args) -> CliResult {
 }
 
 fn cmd_simulate(args: &Args) -> CliResult {
-    let scheme = args.get_or("scheme", "tt");
+    let scheme: Scheme = args.get_or("scheme", "tt").parse()?;
     let n: usize = args.get_parsed_or("n", 2048usize)?;
+    let degree: usize = args.get_parsed_or("d", 4usize)?;
     let k: u64 = args.get_parsed_or("k", 10u64)?;
     let alpha: f64 = args.get_parsed_or("alpha", 0.8f64)?;
     let seed: u64 = args.get_parsed_or("seed", 42u64)?;
@@ -162,22 +185,13 @@ fn cmd_simulate(args: &Args) -> CliResult {
         intervals: args.get_parsed_or("intervals", 40usize)?,
         warmup: args.get_parsed_or("warmup", 15usize)?,
         verify_members: verify,
-        oracle_hints: scheme == "pt",
+        oracle_hints: scheme == Scheme::Pt,
         parallelism: args.get_parsed_or("threads", 1usize)?,
         trace: path_flag(args, "trace")?,
         metrics: path_flag(args, "metrics")?,
     };
 
-    let mut manager: Box<dyn GroupKeyManager> = match scheme.as_str() {
-        "one" => Box::new(OneTreeManager::new(4)),
-        "tt" => Box::new(TtManager::new(4, k)),
-        "qt" => Box::new(QtManager::new(4, k)),
-        "pt" => Box::new(PtManager::new(4)),
-        "forest" => Box::new(LossForestManager::two_trees(4)),
-        "combined" => Box::new(CombinedManager::two_loss_classes(4, k)),
-        "adaptive" => Box::new(AdaptiveManager::paper_default(4)),
-        other => return Err(format!("unknown scheme {other:?}").into()),
-    };
+    let mut manager = scheme.build(&SchemeConfig::new().degree(degree).s_period(k));
 
     let params = MembershipParams {
         target_size: n,
@@ -277,13 +291,13 @@ fn parse_seed_range(spec: &str) -> Result<(u64, u64), Box<dyn std::error::Error>
 
 fn cmd_fuzz(args: &Args) -> CliResult {
     use rekey_testkit::{
-        factory_for, run_scenario, shrink, Delivery, GenParams, RunOptions, Scenario, SCHEMES,
+        factory_for, run_scenario, shrink, Delivery, GenParams, RunOptions, Scenario,
     };
 
     let (seed_lo, seed_hi) = parse_seed_range(&args.get_or("seed", "1"))?;
     let intervals: usize = args.get_parsed_or("intervals", 50usize)?;
     let workers: usize = args.get_parsed_or("workers", 1usize)?;
-    let scheme = args.get_or("scheme", "all");
+    let scheme_flag = args.get_or("scheme", "all");
     let loss = args.get_or("loss", "wka");
     let delivery =
         Delivery::parse(&loss).ok_or_else(|| format!("unknown delivery mode {loss:?}"))?;
@@ -293,30 +307,26 @@ fn cmd_fuzz(args: &Args) -> CliResult {
         ..GenParams::default()
     };
 
-    let schemes: Vec<&str> = if scheme == "all" {
-        SCHEMES.to_vec()
+    let schemes: Vec<Scheme> = if scheme_flag == "all" {
+        Scheme::ALL.to_vec()
     } else {
-        let name = SCHEMES
-            .iter()
-            .find(|s| **s == scheme)
-            .ok_or_else(|| format!("unknown scheme {scheme:?}"))?;
-        vec![name]
+        vec![scheme_flag.parse()?]
     };
 
     let opts = RunOptions { delivery, workers };
     let mut failures = 0usize;
     for seed in seed_lo..=seed_hi {
         let scenario = Scenario::generate(seed, intervals, &params);
-        for name in &schemes {
-            let factory = factory_for(name).expect("scheme name validated");
+        for &scheme in &schemes {
+            let factory = factory_for(scheme);
             match run_scenario(&factory, &scenario, &opts) {
                 Ok(stats) => println!(
-                    "seed {seed} {name}: ok — {} intervals, {} entries ({} bytes), {} members at end",
+                    "seed {seed} {scheme}: ok — {} intervals, {} entries ({} bytes), {} members at end",
                     stats.intervals, stats.total_entries, stats.total_bytes, stats.final_members
                 ),
                 Err(violation) => {
                     failures += 1;
-                    println!("seed {seed} {name}: FAIL at {violation}");
+                    println!("seed {seed} {scheme}: FAIL at {violation}");
                     let report = shrink(&factory, &scenario, &opts, violation, 400);
                     println!(
                         "  shrunk to {} ops over {} intervals ({} runs): {}",
@@ -325,7 +335,10 @@ fn cmd_fuzz(args: &Args) -> CliResult {
                         report.runs,
                         report.violation
                     );
-                    println!("  replay: {}", report.replay_command(name, delivery, workers));
+                    println!(
+                        "  replay: {}",
+                        report.replay_command(scheme.name(), delivery, workers)
+                    );
                 }
             }
         }
@@ -333,6 +346,195 @@ fn cmd_fuzz(args: &Args) -> CliResult {
     if failures > 0 {
         return Err(format!("{failures} fuzz failure(s)").into());
     }
+    Ok(())
+}
+
+fn hex32(bytes: &[u8; 32]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn cmd_serve(args: &Args) -> CliResult {
+    let addr = args.get_or("addr", "127.0.0.1:0");
+    let scheme: Scheme = args.get_or("scheme", "tt").parse()?;
+    let degree: usize = args.get_parsed_or("d", 4usize)?;
+    let k: u64 = args.get_parsed_or("k", 10u64)?;
+    let members: u64 = args.get_parsed_or("members", 16u64)?;
+    let intervals: u64 = args.get_parsed_or("intervals", 50u64)?.max(1);
+    let seed: u64 = args.get_parsed_or("seed", 42u64)?;
+    let key_seed: u64 = args.get_parsed_or("key-seed", 7u64)?;
+    let smoke: bool = args.get_bool_or("smoke", false)?;
+    let period_ms: u64 = args.get_parsed_or("period-ms", if smoke { 2 } else { 200u64 })?;
+    let net_workers: usize = args.get_parsed_or("net-workers", 2usize)?;
+
+    let collector = std::sync::Arc::new(rekey_obs::Collector::new());
+    rekey_obs::install(collector.clone());
+
+    let config = ServerConfig {
+        workers: net_workers,
+        ..ServerConfig::default()
+    };
+    let daemon = Rekeyd::bind(addr.as_str(), config)?;
+    println!(
+        "rekeyd: listening on {} — scheme {scheme}, {members} members, {intervals} intervals",
+        daemon.local_addr()
+    );
+
+    let mut manager = scheme.build(&SchemeConfig::new().degree(degree).s_period(k));
+    let member_keys: Vec<(MemberId, Key)> = (0..members)
+        .map(|m| (MemberId(m), demo_member_key(key_seed, MemberId(m))))
+        .collect();
+    for (member, key) in &member_keys {
+        daemon.register(*member, key.clone());
+    }
+
+    // `--smoke`: every member is also an in-process socket client
+    // following the daemon over real loopback TCP.
+    let dek_node = manager.dek_node();
+    let mut smoke_clients = Vec::new();
+    if smoke {
+        let addr = daemon.local_addr();
+        for (member, key) in &member_keys {
+            let (member, key) = (*member, key.clone());
+            smoke_clients.push(std::thread::spawn(
+                move || -> Result<(MemberId, u64, [u8; 32], Option<Key>), NetError> {
+                    let mut client =
+                        RekeyClient::new(addr, member, key, 1, ClientConfig::default());
+                    client.sync_to(intervals, Duration::from_secs(60))?;
+                    let dek = client.member().key_for(dek_node).cloned();
+                    client.close();
+                    Ok((member, client.applied(), client.digest(), dek))
+                },
+            ));
+        }
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut digest = Sha256::new();
+    let mut total_entries = 0usize;
+    for interval in 0..intervals {
+        let joins: Vec<Join> = if interval == 0 {
+            member_keys
+                .iter()
+                .map(|(m, key)| Join::new(*m, key.clone()))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        // The fan-out hook: the daemon is the manager's RekeySink.
+        let mut publish_err = None;
+        let outcome = manager.process_interval_into(
+            &joins,
+            &[],
+            &mut rng,
+            &mut |message: &RekeyMessage| {
+                if let Err(e) = daemon.publish(message) {
+                    publish_err = Some(e);
+                }
+            },
+        )?;
+        if let Some(e) = publish_err {
+            return Err(e.into());
+        }
+        digest.update(&codec::encode_message(&outcome.message));
+        total_entries += outcome.message.encrypted_key_count();
+        if period_ms > 0 {
+            std::thread::sleep(Duration::from_millis(period_ms));
+        }
+    }
+    let server_digest = digest.finalize();
+    println!(
+        "rekeyd: published {intervals} epochs ({total_entries} encrypted keys), digest {}",
+        hex32(&server_digest)
+    );
+
+    let mut failures = 0usize;
+    if smoke {
+        for handle in smoke_clients {
+            match handle.join().expect("client thread panicked") {
+                Ok((member, applied, client_digest, dek)) => {
+                    let digest_ok = client_digest == server_digest;
+                    let dek_ok = dek.as_ref() == Some(manager.dek());
+                    if !digest_ok || !dek_ok {
+                        failures += 1;
+                        println!(
+                            "smoke: member {} FAILED (applied {applied}, digest match: {digest_ok}, dek match: {dek_ok})",
+                            member.0
+                        );
+                    }
+                }
+                Err(e) => {
+                    failures += 1;
+                    println!("smoke: client error: {e}");
+                }
+            }
+        }
+    }
+
+    daemon.shutdown()?;
+    rekey_obs::uninstall();
+    let snap = collector.snapshot();
+    println!(
+        "rekeyd: fanout {} bytes framed, {} bytes written, sessions opened {}, retransmits {}",
+        snap.counter("net.fanout.bytes"),
+        snap.counter("net.bytes_out"),
+        snap.counter("net.sessions.opened"),
+        snap.counter("net.retransmit.frames"),
+    );
+    if smoke {
+        if failures > 0 {
+            return Err(format!("{failures} smoke client(s) diverged").into());
+        }
+        println!(
+            "smoke: all {members} socket clients hold the group DEK with byte-identical digests"
+        );
+    }
+    Ok(())
+}
+
+fn cmd_client(args: &Args) -> CliResult {
+    let addr = args
+        .get("addr")
+        .filter(|a| !a.is_empty())
+        .ok_or("client requires --addr host:port")?;
+    let addr: std::net::SocketAddr = addr.parse()?;
+    let member = MemberId(args.get_parsed_or("member", 0u64)?);
+    let key_seed: u64 = args.get_parsed_or("key-seed", 7u64)?;
+    let from: u64 = args.get_parsed_or("from", 1u64)?;
+    let idle_ms: u64 = args.get_parsed_or("idle-ms", 3000u64)?;
+
+    let key = demo_member_key(key_seed, member);
+    let mut client = RekeyClient::new(addr, member, key, from, ClientConfig::default());
+    let slice = Duration::from_millis(250);
+    let mut idle = Duration::ZERO;
+    loop {
+        let applied = client.poll(slice)?;
+        if client.server_closed() {
+            println!("client {}: server closed the stream", member.0);
+            break;
+        }
+        if applied == 0 {
+            idle += slice;
+            if idle >= Duration::from_millis(idle_ms) {
+                println!(
+                    "client {}: stream idle for {idle_ms}ms, detaching",
+                    member.0
+                );
+                client.close();
+                break;
+            }
+        } else {
+            idle = Duration::ZERO;
+        }
+    }
+    println!(
+        "client {}: applied {} epochs (next {}), {} reconnects, {} keys held, digest {}",
+        member.0,
+        client.applied(),
+        client.next_epoch(),
+        client.reconnects(),
+        client.member().key_count(),
+        hex32(&client.digest())
+    );
     Ok(())
 }
 

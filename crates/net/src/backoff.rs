@@ -1,0 +1,134 @@
+//! Capped exponential backoff with deterministic jitter.
+//!
+//! Reconnect storms are the classic failure mode of fan-out daemons:
+//! every client that lost its connection retries on the same schedule
+//! and the thundering herd knocks the server over again. The standard
+//! fix is exponential backoff with jitter; the twist here is that the
+//! jitter stream is seeded, so tests get byte-identical retry
+//! schedules run after run.
+
+use std::time::Duration;
+
+/// Backoff policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BackoffConfig {
+    /// First retry delay.
+    pub base: Duration,
+    /// Ceiling no delay exceeds.
+    pub cap: Duration,
+    /// Seed for the jitter stream. Two `Backoff`s with the same config
+    /// produce the same schedule — deterministic for tests; production
+    /// callers seed from something per-client (e.g. the member id).
+    pub seed: u64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            base: Duration::from_millis(50),
+            cap: Duration::from_secs(5),
+            seed: 0x9E37_79B9,
+        }
+    }
+}
+
+/// Stateful backoff schedule: `delay(n) ∈ [exp/2, exp)` where
+/// `exp = min(cap, base · 2ⁿ)` — the "equal jitter" variant, keeping a
+/// guaranteed floor between attempts while still decorrelating
+/// clients.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    config: BackoffConfig,
+    attempt: u32,
+    state: u64,
+}
+
+impl Backoff {
+    /// A fresh schedule at attempt zero.
+    pub fn new(config: BackoffConfig) -> Self {
+        Backoff {
+            config,
+            attempt: 0,
+            state: config.seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Retries since the last [`Backoff::reset`].
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Returns the next delay and advances the schedule.
+    pub fn next_delay(&mut self) -> Duration {
+        let shift = self.attempt.min(20);
+        let exp_ns = (self.config.base.as_nanos() as u64)
+            .saturating_mul(1u64 << shift)
+            .min(self.config.cap.as_nanos() as u64)
+            .max(1);
+        // splitmix64 step for the jitter draw.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let half = exp_ns / 2;
+        let jittered = half + z % (exp_ns - half).max(1);
+        self.attempt = self.attempt.saturating_add(1);
+        Duration::from_nanos(jittered)
+    }
+
+    /// Resets after a successful connection: the next failure starts
+    /// the schedule from `base` again.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic_for_a_seed() {
+        let config = BackoffConfig::default();
+        let mut a = Backoff::new(config);
+        let mut b = Backoff::new(config);
+        for _ in 0..10 {
+            assert_eq!(a.next_delay(), b.next_delay());
+        }
+    }
+
+    #[test]
+    fn delays_grow_and_respect_the_cap() {
+        let config = BackoffConfig {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(640),
+            seed: 7,
+        };
+        let mut backoff = Backoff::new(config);
+        let mut prev_floor = Duration::ZERO;
+        for attempt in 0..12 {
+            let d = backoff.next_delay();
+            let exp = config
+                .cap
+                .min(config.base * 2u32.saturating_pow(attempt.min(20)));
+            assert!(d >= exp / 2, "attempt {attempt}: {d:?} below floor");
+            assert!(d < exp.max(Duration::from_nanos(1)) + Duration::from_nanos(1));
+            assert!(d >= prev_floor);
+            prev_floor = exp / 2;
+        }
+    }
+
+    #[test]
+    fn reset_restarts_the_schedule() {
+        let mut backoff = Backoff::new(BackoffConfig::default());
+        for _ in 0..5 {
+            backoff.next_delay();
+        }
+        assert_eq!(backoff.attempt(), 5);
+        backoff.reset();
+        assert_eq!(backoff.attempt(), 0);
+        let d = backoff.next_delay();
+        assert!(d < BackoffConfig::default().base);
+    }
+}

@@ -1,0 +1,402 @@
+//! `RekeyClient` — a real [`GroupMember`] fed over a socket.
+//!
+//! The client owns the member's key ring and a TCP connection to a
+//! [`crate::server::Rekeyd`]. It reconnects with capped exponential
+//! backoff (deterministic jitter, see [`crate::backoff`]), and on
+//! every (re)connect it resubscribes by NACKing the epochs between
+//! what it has applied and what the server's `Welcome` advertises —
+//! reconnect recovery and late-join catch-up are the same code path.
+//!
+//! Epochs are applied strictly in order: an out-of-order `Rekey` frame
+//! (retransmissions can overtake the live fan-out) is parked in a
+//! pending buffer and the missing prefix is NACKed; `process` runs
+//! only when the next expected epoch is available. The client also
+//! maintains a SHA-256 digest over the codec bytes of every applied
+//! epoch, so tests can compare a socket-fed member byte-for-byte
+//! against an in-process delivery path.
+
+use crate::backoff::{Backoff, BackoffConfig};
+use crate::error::NetError;
+use crate::frame::{self, encode_frame, FrameReader};
+use crate::proto::{self, Frame, MAX_NACK_EPOCHS};
+use rekey_crypto::sha256::Sha256;
+use rekey_crypto::Key;
+use rekey_keytree::member::GroupMember;
+use rekey_keytree::message::codec;
+use rekey_keytree::MemberId;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Client configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// Maximum accepted frame payload.
+    pub max_frame: usize,
+    /// Budget for one TCP connect attempt.
+    pub connect_timeout: Duration,
+    /// Budget for one handshake (after connect).
+    pub handshake_timeout: Duration,
+    /// Reconnect backoff policy.
+    pub backoff: BackoffConfig,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            max_frame: frame::DEFAULT_MAX_FRAME,
+            connect_timeout: Duration::from_secs(2),
+            handshake_timeout: Duration::from_secs(2),
+            backoff: BackoffConfig::default(),
+        }
+    }
+}
+
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+}
+
+/// A key-distribution client wrapping one real group member.
+pub struct RekeyClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    member: GroupMember,
+    individual_key: Key,
+    conn: Option<Conn>,
+    backoff: Backoff,
+    /// Next epoch to apply (everything below is done).
+    next_epoch: u64,
+    /// Out-of-order arrivals: epoch → codec bytes.
+    pending: BTreeMap<u64, Vec<u8>>,
+    digest: Sha256,
+    applied: u64,
+    reconnects: u64,
+    server_latest: u64,
+    server_closed: bool,
+    connected_once: bool,
+}
+
+impl RekeyClient {
+    /// A client for `member` whose first wanted epoch is
+    /// `start_epoch` (engine epochs are 1-based; a member admitted at
+    /// interval `t` wants epochs from `t + 1` on). No I/O happens
+    /// until the first [`RekeyClient::poll`].
+    pub fn new(
+        addr: SocketAddr,
+        member: MemberId,
+        individual_key: Key,
+        start_epoch: u64,
+        config: ClientConfig,
+    ) -> Self {
+        let backoff = Backoff::new(BackoffConfig {
+            // Decorrelate clients without losing determinism.
+            seed: config.backoff.seed ^ member.0,
+            ..config.backoff
+        });
+        RekeyClient {
+            addr,
+            config,
+            member: GroupMember::new(member, individual_key.clone()),
+            individual_key,
+            conn: None,
+            backoff,
+            next_epoch: start_epoch.max(1),
+            pending: BTreeMap::new(),
+            digest: Sha256::new(),
+            applied: 0,
+            reconnects: 0,
+            server_latest: 0,
+            server_closed: false,
+            connected_once: false,
+        }
+    }
+
+    /// The wrapped member (key ring, DEK lookups).
+    pub fn member(&self) -> &GroupMember {
+        &self.member
+    }
+
+    /// Next epoch the client still needs.
+    pub fn next_epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
+    /// Epochs applied so far.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Successful connections beyond the first.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Whether the server said `Bye`.
+    pub fn server_closed(&self) -> bool {
+        self.server_closed
+    }
+
+    /// SHA-256 over the codec bytes of every applied epoch, in order.
+    pub fn digest(&self) -> [u8; 32] {
+        self.digest.clone().finalize()
+    }
+
+    /// Drops the connection without telling the server — simulates a
+    /// crash mid-epoch. The next poll reconnects and NACKs the gap.
+    pub fn inject_disconnect(&mut self) {
+        if self.conn.take().is_some() {
+            rekey_obs::count("net.client.injected_disconnects", 1);
+        }
+    }
+
+    /// Graceful close: best-effort `Bye`, then drop the connection.
+    pub fn close(&mut self) {
+        if let Some(mut conn) = self.conn.take() {
+            if let Ok(bye) = encode_frame(&proto::encode(&Frame::Bye), self.config.max_frame) {
+                let _ = conn.stream.write_all(&bye);
+            }
+        }
+    }
+
+    /// Connects (with handshake and resubscribe-NACK), retrying with
+    /// backoff until `deadline`.
+    fn ensure_connected(&mut self, deadline: Instant) -> Result<(), NetError> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        loop {
+            match self.connect_once() {
+                Ok(()) => return Ok(()),
+                Err(NetError::Rejected(reason)) => {
+                    // Authentication and version failures are not
+                    // transient; retrying would loop forever.
+                    return Err(NetError::Rejected(reason));
+                }
+                Err(e) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(e);
+                    }
+                    let delay = self.backoff.next_delay().min(deadline - now);
+                    thread::sleep(delay);
+                }
+            }
+        }
+    }
+
+    fn connect_once(&mut self) -> Result<(), NetError> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        let mut stream = stream;
+        stream.set_write_timeout(Some(self.config.handshake_timeout))?;
+        let deadline = Instant::now() + self.config.handshake_timeout;
+        let mut reader = FrameReader::new(self.config.max_frame);
+
+        let payload =
+            frame::read_frame_deadline(&mut stream, &mut reader, deadline, "server hello")?;
+        let nonce = match proto::decode(&payload)? {
+            Frame::ServerHello { nonce } => nonce,
+            Frame::Reject { reason } => return Err(NetError::Rejected(reason)),
+            _ => {
+                return Err(NetError::Malformed {
+                    what: "expected server hello",
+                })
+            }
+        };
+
+        let tag = proto::hello_tag(&self.individual_key, &nonce, self.member.id());
+        let hello = encode_frame(
+            &proto::encode(&Frame::Hello {
+                member: self.member.id(),
+                tag,
+            }),
+            self.config.max_frame,
+        )?;
+        stream.write_all(&hello)?;
+
+        let payload = frame::read_frame_deadline(&mut stream, &mut reader, deadline, "welcome")?;
+        let latest = match proto::decode(&payload)? {
+            Frame::Welcome { latest_epoch } => latest_epoch,
+            Frame::Reject { reason } => return Err(NetError::Rejected(reason)),
+            _ => {
+                return Err(NetError::Malformed {
+                    what: "expected welcome",
+                })
+            }
+        };
+        self.server_latest = latest;
+
+        if self.connected_once {
+            self.reconnects += 1;
+            rekey_obs::count("net.client.reconnects", 1);
+        }
+        self.connected_once = true;
+        self.backoff.reset();
+        self.conn = Some(Conn { stream, reader });
+
+        // Resubscribe: ask for everything between our state and the
+        // server's head. Late join and reconnect are the same path.
+        self.nack_missing(latest)?;
+        Ok(())
+    }
+
+    /// NACKs every epoch in `[next_epoch, upto]` not already pending,
+    /// bounded by [`MAX_NACK_EPOCHS`] (the rest follows once the first
+    /// batch lands and uncovers the still-missing suffix).
+    fn nack_missing(&mut self, upto: u64) -> Result<(), NetError> {
+        if self.next_epoch > upto {
+            return Ok(());
+        }
+        let epochs: Vec<u64> = (self.next_epoch..=upto)
+            .filter(|e| !self.pending.contains_key(e))
+            .take(MAX_NACK_EPOCHS)
+            .collect();
+        if epochs.is_empty() {
+            return Ok(());
+        }
+        rekey_obs::count("net.client.nacks", 1);
+        let nack = encode_frame(
+            &proto::encode(&Frame::Nack { epochs }),
+            self.config.max_frame,
+        )?;
+        let Some(conn) = self.conn.as_mut() else {
+            return Err(NetError::Closed);
+        };
+        conn.stream.write_all(&nack)?;
+        Ok(())
+    }
+
+    /// Reads the socket until progress is made (at least one epoch
+    /// applied), `wait` elapses, the server says `Bye`, or a fatal
+    /// error occurs; transient connection failures trigger
+    /// reconnect-with-backoff internally. Returns the number of epochs
+    /// applied during this call.
+    ///
+    /// # Errors
+    ///
+    /// Fatal conditions only: handshake rejection,
+    /// [`NetError::EpochEvicted`] (the window has moved past what we
+    /// need), codec failures, and key-tree rejections. Socket drops
+    /// are handled by reconnecting.
+    pub fn poll(&mut self, wait: Duration) -> Result<u64, NetError> {
+        let deadline = Instant::now() + wait;
+        let mut applied = 0u64;
+        let mut chunk = [0u8; 4096];
+        loop {
+            if self.server_closed {
+                return Ok(applied);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(applied);
+            }
+            if self.conn.is_none() {
+                self.ensure_connected(deadline)?;
+            }
+            let conn = self.conn.as_mut().expect("just connected");
+            let slice = (deadline - now).min(Duration::from_millis(20));
+            conn.stream
+                .set_read_timeout(Some(slice.max(Duration::from_millis(1))))?;
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.conn = None;
+                    continue;
+                }
+                Ok(n) => {
+                    rekey_obs::count("net.client.bytes_in", n as u64);
+                    conn.reader.push(&chunk[..n]);
+                }
+                Err(e) if frame::retryable(&e) => continue,
+                Err(_) => {
+                    self.conn = None;
+                    continue;
+                }
+            }
+            applied += self.drain_frames()?;
+            if applied > 0 {
+                return Ok(applied);
+            }
+        }
+    }
+
+    /// Polls until `target` is applied (i.e. `next_epoch > target`).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] if the budget runs out, plus every fatal
+    /// error of [`RekeyClient::poll`].
+    pub fn sync_to(&mut self, target: u64, budget: Duration) -> Result<(), NetError> {
+        let deadline = Instant::now() + budget;
+        while self.next_epoch <= target {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(NetError::Timeout { what: "epoch sync" });
+            }
+            self.poll((deadline - now).min(Duration::from_millis(50)))?;
+        }
+        Ok(())
+    }
+
+    /// Decodes and dispatches every complete frame in the read buffer.
+    fn drain_frames(&mut self) -> Result<u64, NetError> {
+        let mut applied = 0u64;
+        loop {
+            let next = match self.conn.as_mut() {
+                Some(conn) => conn.reader.next_frame()?,
+                None => return Ok(applied),
+            };
+            let Some(payload) = next else {
+                return Ok(applied);
+            };
+            match proto::decode(&payload)? {
+                Frame::Rekey { payload } => applied += self.on_rekey(payload)?,
+                Frame::Gap { oldest, requested } => {
+                    if requested >= self.next_epoch {
+                        return Err(NetError::EpochEvicted { requested, oldest });
+                    }
+                    // Stale gap for an epoch we already have: ignore.
+                }
+                Frame::Bye => {
+                    self.server_closed = true;
+                    self.conn = None;
+                    return Ok(applied);
+                }
+                _ => {
+                    return Err(NetError::Malformed {
+                        what: "unexpected frame from server",
+                    })
+                }
+            }
+        }
+    }
+
+    /// Ingests one epoch payload: apply in order, park out-of-order
+    /// arrivals and NACK the uncovered prefix.
+    fn on_rekey(&mut self, payload: Vec<u8>) -> Result<u64, NetError> {
+        let message = codec::decode_message(&payload).ok_or(NetError::Codec { epoch: None })?;
+        let epoch = message.epoch;
+        self.server_latest = self.server_latest.max(epoch);
+        if epoch < self.next_epoch {
+            return Ok(0); // duplicate (e.g. double-NACKed)
+        }
+        self.pending.insert(epoch, payload);
+
+        let mut applied = 0u64;
+        while let Some(bytes) = self.pending.remove(&self.next_epoch) {
+            let message = codec::decode_message(&bytes).ok_or(NetError::Codec { epoch: None })?;
+            self.member.process(&message)?;
+            self.digest.update(&bytes);
+            self.applied += 1;
+            self.next_epoch += 1;
+            applied += 1;
+        }
+        if applied == 0 {
+            // Still blocked on a hole below `epoch`: ask for it.
+            self.nack_missing(epoch.saturating_sub(1))?;
+        }
+        Ok(applied)
+    }
+}

@@ -1,0 +1,259 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Every frame on a rekey-net connection is `len:u32 (big-endian)`
+//! followed by `len` payload bytes. [`FrameReader`] is the incremental
+//! decoder: feed it whatever the socket produced — one byte at a time,
+//! odd chunks, several frames glued together — and it yields complete
+//! payloads in order. It never panics on adversarial input; oversized
+//! or empty frames surface as typed [`NetError`]s.
+
+use crate::error::NetError;
+use std::io::{self, Read};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Bytes of the length prefix in front of every frame.
+pub const FRAME_HEADER_LEN: usize = 4;
+
+/// Default maximum payload length an endpoint accepts (16 MiB —
+/// comfortably above any realistic rekey message, far below an
+/// allocation-bomb).
+pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Prepends the length header to `payload`, returning one contiguous
+/// wire buffer.
+///
+/// # Errors
+///
+/// [`NetError::FrameTooLarge`] if the payload exceeds `max`, and
+/// [`NetError::Malformed`] for an empty payload (the protocol has no
+/// zero-length frames; an empty frame on the wire is always a bug).
+pub fn encode_frame(payload: &[u8], max: usize) -> Result<Vec<u8>, NetError> {
+    if payload.is_empty() {
+        return Err(NetError::Malformed {
+            what: "attempted to send an empty frame",
+        });
+    }
+    if payload.len() > max {
+        return Err(NetError::FrameTooLarge {
+            len: payload.len(),
+            max,
+        });
+    }
+    let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(payload);
+    Ok(buf)
+}
+
+/// Incremental frame decoder: accumulates stream bytes and yields
+/// complete payloads.
+#[derive(Debug)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted lazily so 1-byte feeds do
+    /// not trigger O(n²) copying.
+    start: usize,
+    max: usize,
+}
+
+impl FrameReader {
+    /// A reader that rejects payloads longer than `max` bytes.
+    pub fn new(max: usize) -> Self {
+        FrameReader {
+            buf: Vec::new(),
+            start: 0,
+            max,
+        }
+    }
+
+    /// Appends raw stream bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unconsumed bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Extracts the next complete frame payload, or `None` if more
+    /// stream bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::FrameTooLarge`] when the header announces a payload
+    /// above the limit and [`NetError::Malformed`] for a zero-length
+    /// frame. Both mean the stream is unrecoverable — the caller must
+    /// drop the connection.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, NetError> {
+        if self.buffered() < FRAME_HEADER_LEN {
+            self.compact();
+            return Ok(None);
+        }
+        let header = &self.buf[self.start..self.start + FRAME_HEADER_LEN];
+        let len = u32::from_be_bytes([header[0], header[1], header[2], header[3]]) as usize;
+        if len == 0 {
+            return Err(NetError::Malformed {
+                what: "zero-length frame",
+            });
+        }
+        if len > self.max {
+            return Err(NetError::FrameTooLarge { len, max: self.max });
+        }
+        if self.buffered() < FRAME_HEADER_LEN + len {
+            self.compact();
+            return Ok(None);
+        }
+        let begin = self.start + FRAME_HEADER_LEN;
+        let payload = self.buf[begin..begin + len].to_vec();
+        self.start = begin + len;
+        self.compact();
+        Ok(Some(payload))
+    }
+
+    fn compact(&mut self) {
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start > 64 * 1024 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+    }
+}
+
+/// Reads one complete frame from a blocking stream, polling in short
+/// read-timeout slices so the overall `deadline` is honored. Used on
+/// both sides of the handshake, before a connection goes nonblocking.
+///
+/// # Errors
+///
+/// [`NetError::Timeout`] when the deadline passes, [`NetError::Closed`]
+/// on EOF, and any framing error from [`FrameReader::next_frame`].
+pub fn read_frame_deadline(
+    stream: &mut TcpStream,
+    reader: &mut FrameReader,
+    deadline: Instant,
+    what: &'static str,
+) -> Result<Vec<u8>, NetError> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(frame) = reader.next_frame()? {
+            return Ok(frame);
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(NetError::Timeout { what });
+        }
+        let slice = (deadline - now).min(Duration::from_millis(50));
+        // A zero Duration means "no timeout" to the socket API; clamp up.
+        stream.set_read_timeout(Some(slice.max(Duration::from_millis(1))))?;
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(NetError::Closed),
+            Ok(n) => reader.push(&chunk[..n]),
+            Err(e) if retryable(&e) => continue,
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+}
+
+/// Whether a socket error just means "try again" (timeout slice
+/// elapsed or the call was interrupted).
+pub(crate) fn retryable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut | io::ErrorKind::Interrupted
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_frame_roundtrips() {
+        let wire = encode_frame(b"hello", DEFAULT_MAX_FRAME).unwrap();
+        let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+        reader.push(&wire);
+        assert_eq!(reader.next_frame().unwrap().unwrap(), b"hello");
+        assert!(reader.next_frame().unwrap().is_none());
+        assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn byte_at_a_time_reassembles() {
+        let wire = encode_frame(&[7u8; 300], DEFAULT_MAX_FRAME).unwrap();
+        let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+        let mut out = None;
+        for &b in &wire {
+            reader.push(&[b]);
+            if let Some(frame) = reader.next_frame().unwrap() {
+                assert!(out.is_none());
+                out = Some(frame);
+            }
+        }
+        assert_eq!(out.unwrap(), vec![7u8; 300]);
+    }
+
+    #[test]
+    fn coalesced_frames_split_correctly() {
+        let mut wire = encode_frame(b"one", DEFAULT_MAX_FRAME).unwrap();
+        wire.extend(encode_frame(b"two", DEFAULT_MAX_FRAME).unwrap());
+        wire.extend(encode_frame(b"three", DEFAULT_MAX_FRAME).unwrap());
+        let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+        reader.push(&wire);
+        assert_eq!(reader.next_frame().unwrap().unwrap(), b"one");
+        assert_eq!(reader.next_frame().unwrap().unwrap(), b"two");
+        assert_eq!(reader.next_frame().unwrap().unwrap(), b"three");
+        assert!(reader.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_before_buffering() {
+        let mut reader = FrameReader::new(1024);
+        reader.push(&u32::MAX.to_be_bytes());
+        match reader.next_frame() {
+            Err(NetError::FrameTooLarge { len, max }) => {
+                assert_eq!(len, u32::MAX as usize);
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_length_frame_is_malformed() {
+        let mut reader = FrameReader::new(1024);
+        reader.push(&0u32.to_be_bytes());
+        assert!(matches!(
+            reader.next_frame(),
+            Err(NetError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn encode_rejects_oversize_and_empty() {
+        assert!(matches!(
+            encode_frame(&[0u8; 11], 10),
+            Err(NetError::FrameTooLarge { .. })
+        ));
+        assert!(matches!(
+            encode_frame(&[], 10),
+            Err(NetError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn long_session_compacts_consumed_prefix() {
+        let mut reader = FrameReader::new(DEFAULT_MAX_FRAME);
+        let wire = encode_frame(&[1u8; 1000], DEFAULT_MAX_FRAME).unwrap();
+        for _ in 0..200 {
+            reader.push(&wire);
+            assert!(reader.next_frame().unwrap().is_some());
+        }
+        // All consumed — the buffer must not have grown without bound.
+        assert_eq!(reader.buffered(), 0);
+        assert!(reader.buf.len() <= 128 * 1024);
+    }
+}

@@ -1,0 +1,343 @@
+//! The rekey-net session protocol: typed frames inside the length
+//! prefix of [`crate::frame`].
+//!
+//! A session always opens with the server's challenge and the client's
+//! authenticated response:
+//!
+//! ```text
+//! server → client   ServerHello { version, nonce }
+//! client → server   Hello { version, member, tag = HMAC(ik, ...) }
+//! server → client   Welcome { latest_epoch }   (or Reject { reason })
+//! client → server   Nack { epochs }            (resubscribe / catch up)
+//! ```
+//!
+//! After the handshake the server pushes `Rekey` frames (one per
+//! epoch, payload = the `rekey_keytree::message::codec` message
+//! encoding), the client may `Nack` missed epochs at any time, and the
+//! server answers NACKs either with the retransmitted `Rekey` frames
+//! or a `Gap` when the epoch has left its retransmission window.
+//! `Bye` closes either direction gracefully.
+//!
+//! Every frame leads with a one-byte type tag; the two handshake
+//! frames additionally carry [`PROTO_VERSION`] so incompatible
+//! endpoints fail fast with a typed error instead of misparsing.
+//! All integers are big-endian, matching the key-tree codec.
+
+use crate::error::{NetError, RejectReason};
+use rekey_crypto::hmac::HmacSha256;
+use rekey_crypto::Key;
+use rekey_keytree::MemberId;
+
+/// Protocol version spoken by this build. Bumped on any wire change.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Server nonce length (the HMAC challenge).
+pub const NONCE_LEN: usize = 32;
+
+/// Authentication tag length (HMAC-SHA256).
+pub const TAG_LEN: usize = 32;
+
+/// Most epochs one `Nack` frame may carry. A client missing more
+/// re-NACKs after draining the first batch.
+pub const MAX_NACK_EPOCHS: usize = 1024;
+
+const T_SERVER_HELLO: u8 = 1;
+const T_HELLO: u8 = 2;
+const T_WELCOME: u8 = 3;
+const T_REJECT: u8 = 4;
+const T_REKEY: u8 = 5;
+const T_NACK: u8 = 6;
+const T_GAP: u8 = 7;
+const T_BYE: u8 = 8;
+
+/// One protocol frame (the payload of one length-prefixed wire frame).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Server challenge, first frame of every connection.
+    ServerHello {
+        /// Fresh random challenge the client must HMAC.
+        nonce: [u8; NONCE_LEN],
+    },
+    /// Client authentication response.
+    Hello {
+        /// The member identifying itself.
+        member: MemberId,
+        /// `HMAC(individual_key, HELLO_CONTEXT ‖ nonce ‖ member)`.
+        tag: [u8; TAG_LEN],
+    },
+    /// Handshake accepted; the session is live.
+    Welcome {
+        /// Latest epoch the server has published (0 = none yet).
+        latest_epoch: u64,
+    },
+    /// Handshake refused; the server closes after sending this.
+    Reject {
+        /// Why.
+        reason: RejectReason,
+    },
+    /// One epoch's multicast rekey message, encoded with
+    /// `rekey_keytree::message::codec::encode_message`.
+    Rekey {
+        /// The codec bytes, decoded lazily by the receiver.
+        payload: Vec<u8>,
+    },
+    /// Client asks for retransmission of specific epochs.
+    Nack {
+        /// Epochs the client is missing, at most [`MAX_NACK_EPOCHS`].
+        epochs: Vec<u64>,
+    },
+    /// Server cannot retransmit a NACKed epoch: it has been evicted
+    /// from the retransmission window.
+    Gap {
+        /// Oldest epoch still retransmittable.
+        oldest: u64,
+        /// The evicted epoch the client asked for.
+        requested: u64,
+    },
+    /// Graceful close.
+    Bye,
+}
+
+/// Domain-separation context for the handshake HMAC.
+pub const HELLO_CONTEXT: &[u8] = b"rekey-net hello v1";
+
+/// Computes the `Hello` authentication tag: an HMAC under the member's
+/// individual key over the server nonce and the member id, bound to
+/// this protocol by [`HELLO_CONTEXT`].
+pub fn hello_tag(individual_key: &Key, nonce: &[u8; NONCE_LEN], member: MemberId) -> [u8; TAG_LEN] {
+    let mut mac = HmacSha256::new(individual_key.as_bytes());
+    mac.update(HELLO_CONTEXT);
+    mac.update(nonce);
+    mac.update(&member.0.to_be_bytes());
+    mac.finalize()
+}
+
+/// Serializes a frame into a payload buffer (no length prefix).
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    match frame {
+        Frame::ServerHello { nonce } => {
+            let mut buf = Vec::with_capacity(2 + NONCE_LEN);
+            buf.push(T_SERVER_HELLO);
+            buf.push(PROTO_VERSION);
+            buf.extend_from_slice(nonce);
+            buf
+        }
+        Frame::Hello { member, tag } => {
+            let mut buf = Vec::with_capacity(2 + 8 + TAG_LEN);
+            buf.push(T_HELLO);
+            buf.push(PROTO_VERSION);
+            buf.extend_from_slice(&member.0.to_be_bytes());
+            buf.extend_from_slice(tag);
+            buf
+        }
+        Frame::Welcome { latest_epoch } => {
+            let mut buf = Vec::with_capacity(1 + 8);
+            buf.push(T_WELCOME);
+            buf.extend_from_slice(&latest_epoch.to_be_bytes());
+            buf
+        }
+        Frame::Reject { reason } => vec![T_REJECT, reason.code()],
+        Frame::Rekey { payload } => {
+            let mut buf = Vec::with_capacity(1 + payload.len());
+            buf.push(T_REKEY);
+            buf.extend_from_slice(payload);
+            buf
+        }
+        Frame::Nack { epochs } => {
+            debug_assert!(epochs.len() <= MAX_NACK_EPOCHS);
+            let mut buf = Vec::with_capacity(1 + 4 + 8 * epochs.len());
+            buf.push(T_NACK);
+            buf.extend_from_slice(&(epochs.len() as u32).to_be_bytes());
+            for &epoch in epochs {
+                buf.extend_from_slice(&epoch.to_be_bytes());
+            }
+            buf
+        }
+        Frame::Gap { oldest, requested } => {
+            let mut buf = Vec::with_capacity(1 + 16);
+            buf.push(T_GAP);
+            buf.extend_from_slice(&oldest.to_be_bytes());
+            buf.extend_from_slice(&requested.to_be_bytes());
+            buf
+        }
+        Frame::Bye => vec![T_BYE],
+    }
+}
+
+fn take_u64(buf: &mut &[u8]) -> Option<u64> {
+    let (head, rest) = buf.split_first_chunk::<8>()?;
+    *buf = rest;
+    Some(u64::from_be_bytes(*head))
+}
+
+fn take_array<const N: usize>(buf: &mut &[u8]) -> Option<[u8; N]> {
+    let (head, rest) = buf.split_first_chunk::<N>()?;
+    *buf = rest;
+    Some(*head)
+}
+
+/// Parses a frame payload.
+///
+/// # Errors
+///
+/// [`NetError::UnknownFrame`] for an unrecognized type tag and
+/// [`NetError::Malformed`] for truncated fields, trailing garbage,
+/// version mismatches, or a NACK list above [`MAX_NACK_EPOCHS`].
+pub fn decode(payload: &[u8]) -> Result<Frame, NetError> {
+    let malformed = |what: &'static str| NetError::Malformed { what };
+    let (&tag, mut rest) = payload
+        .split_first()
+        .ok_or(malformed("empty frame payload"))?;
+    let frame = match tag {
+        T_SERVER_HELLO => {
+            let (&version, mut body) = rest
+                .split_first()
+                .ok_or(malformed("server-hello missing version"))?;
+            if version != PROTO_VERSION {
+                return Err(malformed("server-hello protocol version mismatch"));
+            }
+            let nonce =
+                take_array::<NONCE_LEN>(&mut body).ok_or(malformed("server-hello truncated"))?;
+            rest = body;
+            Frame::ServerHello { nonce }
+        }
+        T_HELLO => {
+            let (&version, mut body) = rest
+                .split_first()
+                .ok_or(malformed("hello missing version"))?;
+            if version != PROTO_VERSION {
+                return Err(malformed("hello protocol version mismatch"));
+            }
+            let member = take_u64(&mut body).ok_or(malformed("hello truncated"))?;
+            let tag = take_array::<TAG_LEN>(&mut body).ok_or(malformed("hello truncated"))?;
+            rest = body;
+            Frame::Hello {
+                member: MemberId(member),
+                tag,
+            }
+        }
+        T_WELCOME => {
+            let latest_epoch = take_u64(&mut rest).ok_or(malformed("welcome truncated"))?;
+            Frame::Welcome { latest_epoch }
+        }
+        T_REJECT => {
+            let (&code, body) = rest.split_first().ok_or(malformed("reject truncated"))?;
+            rest = body;
+            let reason =
+                RejectReason::from_code(code).ok_or(malformed("reject carries unknown reason"))?;
+            Frame::Reject { reason }
+        }
+        T_REKEY => {
+            if rest.is_empty() {
+                return Err(malformed("rekey frame with no payload"));
+            }
+            let payload = rest.to_vec();
+            rest = &[];
+            Frame::Rekey { payload }
+        }
+        T_NACK => {
+            let (head, mut body) = rest
+                .split_first_chunk::<4>()
+                .ok_or(malformed("nack truncated"))?;
+            let count = u32::from_be_bytes(*head) as usize;
+            if count > MAX_NACK_EPOCHS {
+                return Err(malformed("nack epoch list too long"));
+            }
+            let mut epochs = Vec::with_capacity(count);
+            for _ in 0..count {
+                epochs.push(take_u64(&mut body).ok_or(malformed("nack truncated"))?);
+            }
+            rest = body;
+            Frame::Nack { epochs }
+        }
+        T_GAP => {
+            let oldest = take_u64(&mut rest).ok_or(malformed("gap truncated"))?;
+            let requested = take_u64(&mut rest).ok_or(malformed("gap truncated"))?;
+            Frame::Gap { oldest, requested }
+        }
+        T_BYE => Frame::Bye,
+        other => return Err(NetError::UnknownFrame(other)),
+    };
+    if !rest.is_empty() {
+        return Err(malformed("trailing bytes after frame"));
+    }
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        assert_eq!(decode(&encode(&frame)).unwrap(), frame);
+    }
+
+    #[test]
+    fn every_frame_roundtrips() {
+        roundtrip(Frame::ServerHello { nonce: [9; 32] });
+        roundtrip(Frame::Hello {
+            member: MemberId(42),
+            tag: [7; 32],
+        });
+        roundtrip(Frame::Welcome { latest_epoch: 17 });
+        roundtrip(Frame::Reject {
+            reason: RejectReason::BadAuth,
+        });
+        roundtrip(Frame::Rekey {
+            payload: vec![1, 2, 3],
+        });
+        roundtrip(Frame::Nack {
+            epochs: vec![3, 4, 9],
+        });
+        roundtrip(Frame::Nack { epochs: vec![] });
+        roundtrip(Frame::Gap {
+            oldest: 5,
+            requested: 2,
+        });
+        roundtrip(Frame::Bye);
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_typed_errors() {
+        assert!(matches!(decode(&[]), Err(NetError::Malformed { .. })));
+        assert!(matches!(decode(&[99]), Err(NetError::UnknownFrame(99))));
+        // Truncated at every prefix of a valid frame: never a panic.
+        let wire = encode(&Frame::Hello {
+            member: MemberId(3),
+            tag: [1; 32],
+        });
+        for cut in 0..wire.len() {
+            assert!(decode(&wire[..cut]).is_err());
+        }
+        // Trailing garbage rejected.
+        let mut wire = encode(&Frame::Welcome { latest_epoch: 1 });
+        wire.push(0);
+        assert!(matches!(decode(&wire), Err(NetError::Malformed { .. })));
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut wire = encode(&Frame::ServerHello { nonce: [0; 32] });
+        wire[1] = PROTO_VERSION + 1;
+        assert!(matches!(decode(&wire), Err(NetError::Malformed { .. })));
+    }
+
+    #[test]
+    fn oversized_nack_count_is_rejected_without_allocating() {
+        let mut wire = vec![6u8]; // T_NACK
+        wire.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(decode(&wire), Err(NetError::Malformed { .. })));
+    }
+
+    #[test]
+    fn hello_tag_binds_nonce_and_member() {
+        let key = Key::from_bytes([3; 32]);
+        let tag = hello_tag(&key, &[1; 32], MemberId(7));
+        assert_ne!(tag, hello_tag(&key, &[2; 32], MemberId(7)));
+        assert_ne!(tag, hello_tag(&key, &[1; 32], MemberId(8)));
+        assert_ne!(
+            tag,
+            hello_tag(&Key::from_bytes([4; 32]), &[1; 32], MemberId(7))
+        );
+    }
+}

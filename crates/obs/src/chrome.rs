@@ -13,6 +13,7 @@
 
 use crate::collect::{MetricsSnapshot, SpanEvent};
 use crate::json;
+use crate::ObsError;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -186,31 +187,35 @@ pub struct TraceSummary {
 ///
 /// # Errors
 ///
-/// Returns a human-readable description of the first violation.
-pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
+/// Returns the first violation found as a typed [`ObsError`]:
+/// [`ObsError::Json`] for syntax errors, [`ObsError::Document`] for
+/// structural problems, [`ObsError::Event`] for a bad event, and
+/// [`ObsError::UnbalancedSpan`] for a span left open at end of trace.
+pub fn validate_trace(text: &str) -> Result<TraceSummary, ObsError> {
     let root = json::parse(text)?;
     let events = root
         .get("traceEvents")
-        .ok_or("missing \"traceEvents\" key")?
+        .ok_or_else(|| ObsError::Document("missing \"traceEvents\" key".into()))?
         .as_arr()
-        .ok_or("\"traceEvents\" is not an array")?;
+        .ok_or_else(|| ObsError::Document("\"traceEvents\" is not an array".into()))?;
 
     let mut summary = TraceSummary::default();
     // Per-(pid, tid) stacks of open span names.
     let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
     for (i, event) in events.iter().enumerate() {
+        let bad = |detail: String| ObsError::Event { index: i, detail };
         let name = event
             .get("name")
             .and_then(json::Value::as_str)
-            .ok_or_else(|| format!("event {i}: missing string \"name\""))?;
+            .ok_or_else(|| bad("missing string \"name\"".into()))?;
         let ph = event
             .get("ph")
             .and_then(json::Value::as_str)
-            .ok_or_else(|| format!("event {i}: missing string \"ph\""))?;
+            .ok_or_else(|| bad("missing string \"ph\"".into()))?;
         event
             .get("ts")
             .and_then(json::Value::as_num)
-            .ok_or_else(|| format!("event {i}: missing numeric \"ts\""))?;
+            .ok_or_else(|| bad("missing numeric \"ts\"".into()))?;
         let pid = event
             .get("pid")
             .and_then(json::Value::as_num)
@@ -231,14 +236,14 @@ pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
                 match stack.pop() {
                     Some(open) if open == name => {}
                     Some(open) => {
-                        return Err(format!(
-                            "event {i}: end of {name:?} while {open:?} is open on tid {tid}"
-                        ));
+                        return Err(bad(format!(
+                            "end of {name:?} while {open:?} is open on tid {tid}"
+                        )));
                     }
                     None => {
-                        return Err(format!(
-                            "event {i}: end of {name:?} with no open span on tid {tid}"
-                        ));
+                        return Err(bad(format!(
+                            "end of {name:?} with no open span on tid {tid}"
+                        )));
                     }
                 }
             }
@@ -249,14 +254,17 @@ pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
                     .get("args")
                     .and_then(|a| a.get("value"))
                     .and_then(json::Value::as_num)
-                    .ok_or_else(|| format!("event {i}: counter without numeric args.value"))?;
+                    .ok_or_else(|| bad("counter without numeric args.value".into()))?;
             }
-            other => return Err(format!("event {i}: unsupported phase {other:?}")),
+            other => return Err(bad(format!("unsupported phase {other:?}"))),
         }
     }
     for ((_, tid), stack) in &stacks {
         if let Some(open) = stack.last() {
-            return Err(format!("span {open:?} on tid {tid} never ends"));
+            return Err(ObsError::UnbalancedSpan {
+                name: open.clone(),
+                tid: *tid,
+            });
         }
     }
     Ok(summary)
@@ -307,7 +315,10 @@ mod tests {
         let text = r#"{"traceEvents": [
             {"name": "a", "ph": "B", "ts": 1.0, "pid": 1, "tid": 1}
         ]}"#;
-        assert!(validate_trace(text).unwrap_err().contains("never ends"));
+        assert!(validate_trace(text)
+            .unwrap_err()
+            .to_string()
+            .contains("never ends"));
     }
 
     #[test]
@@ -326,19 +337,26 @@ mod tests {
         let stray = r#"{"traceEvents": [
             {"name": "a", "ph": "E", "ts": 1.0, "pid": 1, "tid": 1}
         ]}"#;
-        assert!(validate_trace(stray).unwrap_err().contains("no open span"));
+        assert!(validate_trace(stray)
+            .unwrap_err()
+            .to_string()
+            .contains("no open span"));
         let bad_counter = r#"{"traceEvents": [
             {"name": "g", "ph": "C", "ts": 1.0, "pid": 1, "tid": 0}
         ]}"#;
         assert!(validate_trace(bad_counter)
             .unwrap_err()
+            .to_string()
             .contains("args.value"));
     }
 
     #[test]
     fn validator_rejects_invalid_json() {
         assert!(validate_trace("{\"traceEvents\": [").is_err());
-        assert!(validate_trace("[]").unwrap_err().contains("traceEvents"));
+        assert!(validate_trace("[]")
+            .unwrap_err()
+            .to_string()
+            .contains("traceEvents"));
     }
 
     #[test]

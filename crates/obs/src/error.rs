@@ -1,0 +1,71 @@
+//! Typed errors for trace parsing and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Everything that can go wrong while parsing or validating an
+/// exported trace document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObsError {
+    /// The document is not well-formed JSON.
+    Json {
+        /// Byte offset where parsing failed.
+        offset: usize,
+        /// What the parser expected or found there.
+        detail: String,
+    },
+    /// The JSON is well-formed but the trace document structure is
+    /// wrong (missing `traceEvents`, wrong value kinds).
+    Document(String),
+    /// A specific trace event violates the exporter's invariants
+    /// (missing fields, unknown phase, mismatched begin/end nesting).
+    Event {
+        /// Index of the offending event in `traceEvents`.
+        index: usize,
+        /// What is wrong with it.
+        detail: String,
+    },
+    /// A span was still open when the trace ended.
+    UnbalancedSpan {
+        /// The span's name.
+        name: String,
+        /// The thread track it was open on.
+        tid: u64,
+    },
+}
+
+impl fmt::Display for ObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsError::Json { offset, detail } => {
+                write!(f, "invalid JSON at byte {offset}: {detail}")
+            }
+            ObsError::Document(detail) => write!(f, "invalid trace document: {detail}"),
+            ObsError::Event { index, detail } => write!(f, "event {index}: {detail}"),
+            ObsError::UnbalancedSpan { name, tid } => {
+                write!(f, "span {name:?} on tid {tid} never ends")
+            }
+        }
+    }
+}
+
+impl Error for ObsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable() {
+        let err = ObsError::Json {
+            offset: 7,
+            detail: "unexpected '}'".into(),
+        };
+        assert_eq!(err.to_string(), "invalid JSON at byte 7: unexpected '}'");
+        let err = ObsError::UnbalancedSpan {
+            name: "rekey.plan".into(),
+            tid: 3,
+        };
+        assert!(err.to_string().contains("never ends"));
+    }
+}

@@ -1,8 +1,20 @@
 //! A minimal JSON parser, used to validate exported traces without
 //! external dependencies. Supports the full JSON grammar (objects,
 //! arrays, strings with escapes, numbers, booleans, null).
+//!
+//! All failures are reported as [`ObsError::Json`] carrying the byte
+//! offset where parsing stopped.
 
+use crate::ObsError;
 use std::collections::BTreeMap;
+
+/// A JSON syntax error at a byte offset.
+fn err(offset: usize, detail: impl Into<String>) -> ObsError {
+    ObsError::Json {
+        offset,
+        detail: detail.into(),
+    }
+}
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,13 +58,13 @@ impl Value {
 }
 
 /// Parses a complete JSON document (rejects trailing garbage).
-pub(crate) fn parse(text: &str) -> Result<Value, String> {
+pub(crate) fn parse(text: &str) -> Result<Value, ObsError> {
     let bytes = text.as_bytes();
     let mut pos = 0;
     let value = parse_value(bytes, &mut pos)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
-        return Err(format!("trailing data at byte {pos}"));
+        return Err(err(pos, "trailing data"));
     }
     Ok(value)
 }
@@ -63,21 +75,23 @@ fn skip_ws(bytes: &[u8], pos: &mut usize) {
     }
 }
 
-fn expect(bytes: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+fn expect(bytes: &[u8], pos: &mut usize, ch: u8) -> Result<(), ObsError> {
     if bytes.get(*pos) == Some(&ch) {
         *pos += 1;
         Ok(())
     } else {
-        Err(format!(
-            "expected {:?} at byte {}, found {:?}",
-            ch as char,
+        Err(err(
             *pos,
-            bytes.get(*pos).map(|&b| b as char)
+            format!(
+                "expected {:?}, found {:?}",
+                ch as char,
+                bytes.get(*pos).map(|&b| b as char)
+            ),
         ))
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, ObsError> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         Some(b'{') => parse_obj(bytes, pos),
@@ -87,24 +101,23 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
         Some(b'f') => parse_lit(bytes, pos, "false", Value::Bool(false)),
         Some(b'n') => parse_lit(bytes, pos, "null", Value::Null),
         Some(b'-' | b'0'..=b'9') => parse_num(bytes, pos),
-        other => Err(format!(
-            "unexpected {:?} at byte {}",
-            other.map(|&b| b as char),
-            *pos
+        other => Err(err(
+            *pos,
+            format!("unexpected {:?}", other.map(|&b| b as char)),
         )),
     }
 }
 
-fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, ObsError> {
     if bytes[*pos..].starts_with(lit.as_bytes()) {
         *pos += lit.len();
         Ok(value)
     } else {
-        Err(format!("invalid literal at byte {}", *pos))
+        Err(err(*pos, "invalid literal"))
     }
 }
 
-fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Value, ObsError> {
     let start = *pos;
     if bytes.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -114,18 +127,18 @@ fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| err(start, e.to_string()))?;
     text.parse::<f64>()
         .map(Value::Num)
-        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+        .map_err(|_| err(start, format!("invalid number {text:?}")))
 }
 
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ObsError> {
     expect(bytes, pos, b'"')?;
     let mut out = String::new();
     loop {
         match bytes.get(*pos) {
-            None => return Err("unterminated string".to_string()),
+            None => return Err(err(*pos, "unterminated string")),
             Some(b'"') => {
                 *pos += 1;
                 return Ok(out);
@@ -144,17 +157,20 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'u') => {
                         let hex = bytes
                             .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex).map_err(|e| err(*pos, e.to_string()))?;
                         let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            .map_err(|_| err(*pos, format!("bad \\u escape {hex:?}")))?;
                         // Surrogate pairs are not needed by our own
                         // exporter; map unpaired surrogates to U+FFFD.
                         out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
                         *pos += 4;
                     }
                     other => {
-                        return Err(format!("bad escape {:?}", other.map(|&b| b as char)));
+                        return Err(err(
+                            *pos,
+                            format!("bad escape {:?}", other.map(|&b| b as char)),
+                        ));
                     }
                 }
                 *pos += 1;
@@ -169,15 +185,15 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                 };
                 let chunk = bytes
                     .get(*pos..*pos + len)
-                    .ok_or("truncated UTF-8 sequence")?;
-                out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    .ok_or_else(|| err(*pos, "truncated UTF-8 sequence"))?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|e| err(*pos, e.to_string()))?);
                 *pos += len;
             }
         }
     }
 }
 
-fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Value, ObsError> {
     expect(bytes, pos, b'[')?;
     let mut items = Vec::new();
     skip_ws(bytes, pos);
@@ -194,12 +210,12 @@ fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
                 *pos += 1;
                 return Ok(Value::Arr(items));
             }
-            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+            _ => return Err(err(*pos, "expected ',' or ']'")),
         }
     }
 }
 
-fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Value, ObsError> {
     expect(bytes, pos, b'{')?;
     let mut map = BTreeMap::new();
     skip_ws(bytes, pos);
@@ -221,7 +237,7 @@ fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
                 *pos += 1;
                 return Ok(Value::Obj(map));
             }
-            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+            _ => return Err(err(*pos, "expected ',' or '}'")),
         }
     }
 }

@@ -59,10 +59,12 @@ pub mod hist;
 pub mod prom;
 
 mod collect;
+mod error;
 mod json;
 mod recorder;
 
 pub use collect::{Collector, MetricsSnapshot, SampleEvent, SpanEvent};
+pub use error::ObsError;
 pub use recorder::{
     count, enabled, install, now_ns, sample, thread_id, time_ns, total_time_ns, uninstall,
     Recorder, SpanGuard,

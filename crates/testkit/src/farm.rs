@@ -15,10 +15,151 @@ use rekey_crypto::Key;
 use rekey_keytree::member::GroupMember;
 use rekey_keytree::message::RekeyMessage;
 use rekey_keytree::MemberId;
+use rekey_keytree::{KeyTreeError, NodeId};
 use rekey_transport::interest::interest_map;
 use rekey_transport::loss::Population;
 use rekey_transport::wka_bkr::{self, WkaBkrConfig};
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An invariant or protocol violation detected by the farm.
+///
+/// Each variant pins the failing member/key so harnesses can react
+/// structurally instead of grepping message text; [`fmt::Display`]
+/// renders the same human-readable description the farm used to return
+/// as a bare `String`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FarmError {
+    /// A member rejected wire bytes the server multicast.
+    MemberRejected {
+        /// The member that failed to process the message.
+        member: MemberId,
+        /// Whether the member had already departed (replay tape).
+        departed: bool,
+        /// The underlying processing error.
+        source: KeyTreeError,
+    },
+    /// The reliable transport exhausted its round budget.
+    TransportIncomplete {
+        /// Rounds spent before giving up.
+        rounds: usize,
+    },
+    /// The manager's membership view diverged from the farm's.
+    Bookkeeping {
+        /// What diverged.
+        detail: String,
+    },
+    /// A departed member is entitled to a key born after it left.
+    ForwardSecrecy {
+        /// The departed member.
+        member: MemberId,
+        /// The freshly distributed node.
+        node: NodeId,
+        /// The fresh key version.
+        version: u64,
+    },
+    /// A member's ring holds a key the oracle does not entitle it to.
+    RingSoundness {
+        /// The offending member.
+        member: MemberId,
+        /// The held node.
+        node: NodeId,
+        /// The held version.
+        version: u64,
+    },
+    /// The group is non-empty but no DEK was ever multicast.
+    DekNeverDistributed,
+    /// The entitled set of the latest DEK diverges from the present
+    /// membership.
+    DekConfinement {
+        /// The DEK node.
+        node: NodeId,
+        /// The latest DEK version.
+        version: u64,
+        /// Entitled members that are not present.
+        extra: Vec<MemberId>,
+        /// Present members that are not entitled.
+        missing: Vec<MemberId>,
+    },
+    /// A departed member still holds the live DEK.
+    DekLeak {
+        /// The departed member.
+        member: MemberId,
+    },
+    /// After a complete delivery, a present member misses a key it is
+    /// entitled to.
+    Liveness {
+        /// The lagging member.
+        member: MemberId,
+        /// What the member should hold.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FarmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FarmError::MemberRejected {
+                member,
+                departed,
+                source,
+            } => {
+                let kind = if *departed {
+                    "departed member"
+                } else {
+                    "member"
+                };
+                write!(f, "{kind} {member:?} rejected message: {source}")
+            }
+            FarmError::TransportIncomplete { rounds } => {
+                write!(f, "transport incomplete after {rounds} rounds")
+            }
+            FarmError::Bookkeeping { detail } => write!(f, "bookkeeping: {detail}"),
+            FarmError::ForwardSecrecy {
+                member,
+                node,
+                version,
+            } => write!(
+                f,
+                "forward secrecy: departed {member:?} entitled to fresh {node:?}@{version}"
+            ),
+            FarmError::RingSoundness {
+                member,
+                node,
+                version,
+            } => write!(
+                f,
+                "ring soundness: {member:?} holds {node:?}@{version} without entitlement"
+            ),
+            FarmError::DekNeverDistributed => write!(f, "DEK never appeared on the wire"),
+            FarmError::DekConfinement {
+                node,
+                version,
+                extra,
+                missing,
+            } => write!(
+                f,
+                "DEK confinement: {node:?}@{version} entitled set diverges \
+                 (extra: {extra:?}, missing: {missing:?})"
+            ),
+            FarmError::DekLeak { member } => {
+                write!(f, "departed {member:?} holds the live DEK")
+            }
+            FarmError::Liveness { member, detail } => {
+                write!(f, "liveness: present {member:?} {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FarmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FarmError::MemberRejected { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// How rekey messages reach present members.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +243,14 @@ impl MemberFarm {
         &self.departed
     }
 
+    /// The farm's [`GroupMember`] for `member`, if it was ever
+    /// admitted. External harnesses (e.g. the `rekey-net` loopback
+    /// test) compare these rings against members fed by other
+    /// transports.
+    pub fn member(&self, member: MemberId) -> Option<&GroupMember> {
+        self.members.get(&member)
+    }
+
     /// Delivers one decoded message to the farm under `mode`.
     /// Returns whether delivery was complete for all present members
     /// (which re-arms the liveness checks); errors are protocol
@@ -113,14 +262,19 @@ impl MemberFarm {
         mode: Delivery,
         manager: &dyn GroupKeyManager,
         net_rng: &mut R,
-    ) -> Result<bool, String> {
+    ) -> Result<bool, FarmError> {
+        let rejected = |member: MemberId, departed: bool| {
+            move |source: KeyTreeError| FarmError::MemberRejected {
+                member,
+                departed,
+                source,
+            }
+        };
         let complete = match mode {
             Delivery::Lossless => {
                 for (&id, member) in &mut self.members {
                     if self.present.contains(&id) {
-                        member
-                            .process(message)
-                            .map_err(|e| format!("member {id:?} rejected message: {e}"))?;
+                        member.process(message).map_err(rejected(id, false))?;
                     }
                 }
                 true
@@ -138,7 +292,7 @@ impl MemberFarm {
                         .collect();
                     member
                         .process_entries(received)
-                        .map_err(|e| format!("member {id:?} rejected entries: {e}"))?;
+                        .map_err(rejected(id, false))?;
                 }
                 false
             }
@@ -168,14 +322,13 @@ impl MemberFarm {
                         if let Some(indices) = outcome.delivered.get(&id) {
                             member
                                 .process_entries(indices.iter().map(|&i| &message.entries[i]))
-                                .map_err(|e| format!("member {id:?} rejected entries: {e}"))?;
+                                .map_err(rejected(id, false))?;
                         }
                     }
                     if !outcome.report.complete {
-                        return Err(format!(
-                            "transport incomplete after {} rounds",
-                            outcome.report.rounds
-                        ));
+                        return Err(FarmError::TransportIncomplete {
+                            rounds: outcome.report.rounds,
+                        });
                     }
                     true
                 }
@@ -185,9 +338,7 @@ impl MemberFarm {
         // Departed members replay the full tape regardless of mode.
         for (&id, member) in &mut self.members {
             if self.departed.contains(&id) {
-                member
-                    .process(message)
-                    .map_err(|e| format!("departed member {id:?} rejected message: {e}"))?;
+                member.process(message).map_err(rejected(id, true))?;
             }
         }
         Ok(complete)
@@ -212,31 +363,39 @@ impl MemberFarm {
         manager: &dyn GroupKeyManager,
         report: &ObserveReport,
         liveness: bool,
-    ) -> Result<(), String> {
+    ) -> Result<(), FarmError> {
         if manager.member_count() != self.present.len() {
-            return Err(format!(
-                "bookkeeping: manager reports {} members, farm has {}",
-                manager.member_count(),
-                self.present.len()
-            ));
+            return Err(FarmError::Bookkeeping {
+                detail: format!(
+                    "manager reports {} members, farm has {}",
+                    manager.member_count(),
+                    self.present.len()
+                ),
+            });
         }
         for &m in &self.present {
             if !manager.contains(m) {
-                return Err(format!("bookkeeping: manager lost present member {m:?}"));
+                return Err(FarmError::Bookkeeping {
+                    detail: format!("manager lost present member {m:?}"),
+                });
             }
         }
         for &m in &self.departed {
             if manager.contains(m) {
-                return Err(format!("bookkeeping: manager retains departed {m:?}"));
+                return Err(FarmError::Bookkeeping {
+                    detail: format!("manager retains departed {m:?}"),
+                });
             }
         }
 
         for &(node, version) in &report.born {
             if let Some(entitled) = oracle.entitled(node, version) {
-                if let Some(leak) = entitled.iter().find(|m| self.departed.contains(m)) {
-                    return Err(format!(
-                        "forward secrecy: departed {leak:?} entitled to fresh {node:?}@{version}"
-                    ));
+                if let Some(&leak) = entitled.iter().find(|m| self.departed.contains(m)) {
+                    return Err(FarmError::ForwardSecrecy {
+                        member: leak,
+                        node,
+                        version,
+                    });
                 }
             }
         }
@@ -244,9 +403,11 @@ impl MemberFarm {
         for (&id, member) in &self.members {
             for (node, version) in member.held_keys() {
                 if !oracle.is_entitled(id, node, version) {
-                    return Err(format!(
-                        "ring soundness: {id:?} holds {node:?}@{version} without entitlement"
-                    ));
+                    return Err(FarmError::RingSoundness {
+                        member: id,
+                        node,
+                        version,
+                    });
                 }
             }
         }
@@ -254,22 +415,22 @@ impl MemberFarm {
         let dek_node = manager.dek_node();
         if !self.present.is_empty() {
             let Some(dek_version) = oracle.latest(dek_node) else {
-                return Err("DEK never appeared on the wire".into());
+                return Err(FarmError::DekNeverDistributed);
             };
             let entitled = oracle.entitled(dek_node, dek_version).unwrap();
             if entitled != &self.present {
-                let extra: Vec<_> = entitled.difference(&self.present).collect();
-                let missing: Vec<_> = self.present.difference(entitled).collect();
-                return Err(format!(
-                    "DEK confinement: {dek_node:?}@{dek_version} entitled set diverges \
-                     (extra: {extra:?}, missing: {missing:?})"
-                ));
+                return Err(FarmError::DekConfinement {
+                    node: dek_node,
+                    version: dek_version,
+                    extra: entitled.difference(&self.present).copied().collect(),
+                    missing: self.present.difference(entitled).copied().collect(),
+                });
             }
         }
         let dek = manager.dek();
         for &m in &self.departed {
             if self.members[&m].key_for(dek_node) == Some(dek) {
-                return Err(format!("departed {m:?} holds the live DEK"));
+                return Err(FarmError::DekLeak { member: m });
             }
         }
 
@@ -279,17 +440,21 @@ impl MemberFarm {
                     continue;
                 }
                 if self.members[&m].version_for(node) != Some(version) {
-                    return Err(format!(
-                        "liveness: present {m:?} entitled to {node:?}@{version} but ring has {:?}",
-                        self.members[&m].version_for(node)
-                    ));
+                    return Err(FarmError::Liveness {
+                        member: m,
+                        detail: format!(
+                            "entitled to {node:?}@{version} but ring has {:?}",
+                            self.members[&m].version_for(node)
+                        ),
+                    });
                 }
             }
             for &m in &self.present {
                 if self.members[&m].key_for(dek_node) != Some(dek) {
-                    return Err(format!(
-                        "liveness: present {m:?} lacks the current DEK after complete delivery"
-                    ));
+                    return Err(FarmError::Liveness {
+                        member: m,
+                        detail: "lacks the current DEK after complete delivery".into(),
+                    });
                 }
             }
         }

@@ -35,43 +35,24 @@ pub mod oracle;
 pub mod runner;
 pub mod scenario;
 
-pub use farm::{Delivery, MemberFarm};
+pub use farm::{Delivery, FarmError, MemberFarm};
 pub use oracle::KnowledgeOracle;
 pub use runner::{run_scenario, shrink, RunOptions, RunStats, ShrinkReport, Violation};
 pub use scenario::{GenParams, IntervalOps, JoinOp, Scenario};
 
-use rekey_core::adaptive::AdaptiveManager;
-use rekey_core::combined::CombinedManager;
-use rekey_core::loss_forest::LossForestManager;
-use rekey_core::one_tree::OneTreeManager;
-use rekey_core::partition::{PtManager, QtManager, TtManager};
+use rekey_core::scheme::{Scheme, SchemeConfig};
 use rekey_core::GroupKeyManager;
 
-/// Command-line names of every scheme the fuzzer can drive.
-pub const SCHEMES: [&str; 7] = ["one", "tt", "qt", "pt", "forest", "combined", "adaptive"];
-
-/// Builds a manager by its command-line name; `None` for an unknown
-/// name. Degree and S-period come from the scenario so shrunk
-/// scenarios rebuild the identical configuration.
-pub fn manager_for(scheme: &str, degree: usize, k: u64) -> Option<Box<dyn GroupKeyManager>> {
-    Some(match scheme {
-        "one" => Box::new(OneTreeManager::new(degree)),
-        "tt" => Box::new(TtManager::new(degree, k)),
-        "qt" => Box::new(QtManager::new(degree, k)),
-        "pt" => Box::new(PtManager::new(degree)),
-        "forest" => Box::new(LossForestManager::two_trees(degree)),
-        "combined" => Box::new(CombinedManager::two_loss_classes(degree, k)),
-        "adaptive" => Box::new(AdaptiveManager::paper_default(degree)),
-        _ => return None,
-    })
-}
-
-/// A [`runner::ManagerFactory`] for a named scheme, reading degree and
-/// S-period from each scenario.
-pub fn factory_for(scheme: &str) -> Option<impl Fn(&Scenario) -> Box<dyn GroupKeyManager> + '_> {
-    manager_for(scheme, 4, 3)?; // validate the name eagerly
-    Some(move |s: &Scenario| {
-        manager_for(scheme, s.degree.max(2) as usize, u64::from(s.k.max(1)))
-            .expect("name validated above")
-    })
+/// A [`runner::ManagerFactory`] for a scheme, reading degree and
+/// S-period from each scenario so a shrunk scenario rebuilds the
+/// identical configuration. All construction goes through
+/// [`Scheme::build`] — the testkit maintains no factory of its own.
+pub fn factory_for(scheme: Scheme) -> impl Fn(&Scenario) -> Box<dyn GroupKeyManager> {
+    move |s: &Scenario| {
+        scheme.build(
+            &SchemeConfig::new()
+                .degree(s.degree as usize)
+                .s_period(u64::from(s.k)),
+        )
+    }
 }

@@ -136,9 +136,9 @@ pub fn run_scenario(
         let report = oracle.observe(&decoded);
         let complete = farm
             .deliver(&decoded, opts.delivery, manager.as_ref(), &mut net_rng)
-            .map_err(&fail)?;
+            .map_err(|e| fail(e.to_string()))?;
         farm.check(&oracle, manager.as_ref(), &report, complete)
-            .map_err(&fail)?;
+            .map_err(|e| fail(e.to_string()))?;
     }
 
     Ok(RunStats {

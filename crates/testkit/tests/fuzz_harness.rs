@@ -4,11 +4,9 @@
 //! independent of the worker count.
 
 use rekey_core::partition::TtManager;
-use rekey_core::GroupKeyManager;
+use rekey_core::{GroupKeyManager, Scheme};
 use rekey_testkit::bugs::SkipOneLeave;
-use rekey_testkit::{
-    factory_for, run_scenario, shrink, Delivery, GenParams, RunOptions, Scenario, SCHEMES,
-};
+use rekey_testkit::{factory_for, run_scenario, shrink, Delivery, GenParams, RunOptions, Scenario};
 
 fn generate(seed: u64, intervals: usize) -> Scenario {
     Scenario::generate(seed, intervals, &GenParams::default())
@@ -17,8 +15,8 @@ fn generate(seed: u64, intervals: usize) -> Scenario {
 #[test]
 fn honest_schemes_pass_lossless_churn() {
     let scenario = generate(1, 25);
-    for scheme in SCHEMES {
-        let factory = factory_for(scheme).unwrap();
+    for scheme in Scheme::ALL {
+        let factory = factory_for(scheme);
         let opts = RunOptions {
             delivery: Delivery::Lossless,
             workers: 1,
@@ -33,8 +31,13 @@ fn honest_schemes_pass_lossless_churn() {
 #[test]
 fn honest_schemes_pass_bernoulli_loss() {
     let scenario = generate(2, 20);
-    for scheme in ["one", "qt", "combined", "adaptive"] {
-        let factory = factory_for(scheme).unwrap();
+    for scheme in [
+        Scheme::OneTree,
+        Scheme::Qt,
+        Scheme::Combined,
+        Scheme::Adaptive,
+    ] {
+        let factory = factory_for(scheme);
         let opts = RunOptions {
             delivery: Delivery::Bernoulli,
             workers: 1,
@@ -46,8 +49,8 @@ fn honest_schemes_pass_bernoulli_loss() {
 #[test]
 fn honest_schemes_pass_wka_transport() {
     let scenario = generate(3, 15);
-    for scheme in ["one", "tt", "forest"] {
-        let factory = factory_for(scheme).unwrap();
+    for scheme in [Scheme::OneTree, Scheme::Tt, Scheme::LossForest] {
+        let factory = factory_for(scheme);
         let opts = RunOptions {
             delivery: Delivery::WkaBkr,
             workers: 1,
@@ -59,8 +62,8 @@ fn honest_schemes_pass_wka_transport() {
 #[test]
 fn verdict_and_digest_identical_across_worker_counts() {
     let scenario = generate(4, 20);
-    for scheme in ["one", "tt", "qt"] {
-        let factory = factory_for(scheme).unwrap();
+    for scheme in [Scheme::OneTree, Scheme::Tt, Scheme::Qt] {
+        let factory = factory_for(scheme);
         let run = |workers| {
             run_scenario(
                 &factory,
@@ -129,7 +132,7 @@ fn departed_member_replay_does_not_resurrect_access() {
     // message forever; the DEK-confinement check would flag any of
     // them clawing access back.
     let scenario = generate(6, 40);
-    let factory = factory_for("combined").unwrap();
+    let factory = factory_for(Scheme::Combined);
     let stats = run_scenario(&factory, &scenario, &RunOptions::default()).unwrap();
     assert!(stats.intervals == 41);
 }
