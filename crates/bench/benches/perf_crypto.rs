@@ -1,61 +1,294 @@
-//! Criterion micro-benchmarks for the cryptographic substrate.
+//! Crypto kernel benchmark: per-backend (scalar/sse2/avx2) throughput
+//! of the three SIMD-dispatched kernels plus batched keywrap, written
+//! to `BENCH_crypto.json` at the workspace root.
+//!
+//! The headline metric is **encrypted keys per second** — the
+//! denominator of every cost model in the repo (the paper counts
+//! rekey cost in encrypted keys; this bench says how many of those a
+//! second of CPU buys). Bulk kernels additionally report MB/sec, and
+//! keywrap reports the equivalent wire MB/sec (keys/sec × the 60-byte
+//! wire size).
+//!
+//! Backends are swept with the explicit `*_with` kernel entry points
+//! (and `rekey_crypto::simd::force` for the whole-stack keywrap path),
+//! so one process measures every tier the CPU supports back to back.
+//! The `scalar_vs_best` block records the speedup of the best
+//! supported tier over scalar per kernel; on hosts with no SIMD it
+//! honestly records 1.0.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rekey_crypto::{chacha20, hmac, keywrap, sha256, Key};
+use rekey_crypto::keywrap::{WrapKek, WRAPPED_LEN};
+use rekey_crypto::simd::{self, Backend};
+use rekey_crypto::{chacha20, sha256, Key};
+use rekey_transport::gf256;
+use std::fmt::Write as _;
+use std::time::Instant;
 
-fn bench_sha256(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sha256");
-    for size in [64usize, 1024, 16 * 1024] {
-        let data = vec![0xABu8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_function(format!("digest_{size}B"), |b| {
-            b.iter(|| sha256::digest(std::hint::black_box(&data)))
-        });
+/// Bulk-kernel buffer size: large enough that the multi-block ChaCha20
+/// lanes and the GF(256) vector loop dominate setup cost.
+const BUF_LEN: usize = 16 * 1024;
+
+/// Keys wrapped per keywrap rep (one batch through a cached KEK).
+const WRAP_KEYS: usize = 4096;
+
+const REPS: usize = 5;
+
+struct Row {
+    kernel: &'static str,
+    backend: Backend,
+    mb_per_s: f64,
+    /// Encrypted keys per second; only for the keywrap kernel.
+    keys_per_s: Option<f64>,
+}
+
+/// Minimum wall-clock of `REPS` runs of `f` (seconds).
+fn time_min<F: FnMut()>(mut f: F) -> f64 {
+    let mut min = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        f();
+        min = min.min(start.elapsed().as_secs_f64());
     }
-    group.finish();
+    min
 }
 
-fn bench_hmac(c: &mut Criterion) {
-    let data = vec![0u8; 1024];
-    c.bench_function("hmac_sha256_1KiB", |b| {
-        b.iter(|| hmac::hmac(b"key", std::hint::black_box(&data)))
-    });
-}
-
-fn bench_chacha20(c: &mut Criterion) {
+fn bench_chacha20(backend: Backend, rows: &mut Vec<Row>) {
     let key = [7u8; 32];
     let nonce = [9u8; 12];
-    let mut group = c.benchmark_group("chacha20");
-    for size in [64usize, 1500, 16 * 1024] {
-        let data = vec![0u8; size];
-        group.throughput(Throughput::Bytes(size as u64));
-        group.bench_function(format!("encrypt_{size}B"), |b| {
-            b.iter(|| chacha20::encrypt(&key, &nonce, 0, std::hint::black_box(&data)))
-        });
-    }
-    group.finish();
+    let mut buf = vec![0x5Au8; BUF_LEN];
+    const ITERS: usize = 64;
+    let secs = time_min(|| {
+        for i in 0..ITERS {
+            chacha20::xor_in_place_with(backend, &key, &nonce, i as u32, &mut buf);
+        }
+    });
+    std::hint::black_box(&buf);
+    rows.push(Row {
+        kernel: "chacha20_multiblock",
+        backend,
+        mb_per_s: (ITERS * BUF_LEN) as f64 / secs / 1e6,
+        keys_per_s: None,
+    });
 }
 
-fn bench_keywrap(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(1);
+fn bench_sha256(backend: Backend, rows: &mut Vec<Row>) {
+    let data = vec![0xABu8; BUF_LEN];
+    const ITERS: usize = 32;
+    let mut sink = 0u8;
+    let secs = time_min(|| {
+        for _ in 0..ITERS {
+            sink ^= sha256::digest_with(backend, &data)[0];
+        }
+    });
+    std::hint::black_box(sink);
+    rows.push(Row {
+        kernel: "sha256",
+        backend,
+        mb_per_s: (ITERS * BUF_LEN) as f64 / secs / 1e6,
+        keys_per_s: None,
+    });
+}
+
+fn bench_gf256(backend: Backend, rows: &mut Vec<Row>) {
+    let src: Vec<u8> = (0..BUF_LEN).map(|i| (i * 37 + 5) as u8).collect();
+    let mut dst = vec![0xC3u8; BUF_LEN];
+    const ITERS: usize = 128;
+    let secs = time_min(|| {
+        for i in 0..ITERS {
+            gf256::mul_acc_with(backend, &mut dst, &src, (i % 254 + 2) as u8);
+        }
+    });
+    std::hint::black_box(&dst);
+    rows.push(Row {
+        kernel: "gf256_mul_acc",
+        backend,
+        mb_per_s: (ITERS * BUF_LEN) as f64 / secs / 1e6,
+        keys_per_s: None,
+    });
+}
+
+/// Batched keywrap through the whole stack (HKDF-derived `WrapKek`
+/// setup once, then ChaCha20 + HMAC-SHA256 per key) — the engine's
+/// execute-phase workload. Uses `simd::force` so the internal
+/// `simd::active()` dispatch resolves to the swept backend.
+fn bench_keywrap(backend: Backend, rows: &mut Vec<Row>) {
+    simd::force(backend);
+    let mut rng = StdRng::seed_from_u64(0xD15C);
     let kek = Key::generate(&mut rng);
-    let payload = Key::generate(&mut rng);
-    c.bench_function("keywrap_wrap", |b| {
-        b.iter(|| keywrap::wrap_with_nonce(&kek, &payload, [3; 12]))
+    let payloads: Vec<Key> = (0..WRAP_KEYS).map(|_| Key::generate(&mut rng)).collect();
+    let mut sink = 0u8;
+    let secs = time_min(|| {
+        let cached = WrapKek::new(&kek);
+        for (i, payload) in payloads.iter().enumerate() {
+            let nonce = (i as u128).to_le_bytes()[..12]
+                .try_into()
+                .expect("12 bytes");
+            sink ^= cached.wrap_with_nonce(payload, nonce).to_bytes()[0];
+        }
     });
-    let wrapped = keywrap::wrap_with_nonce(&kek, &payload, [3; 12]);
-    c.bench_function("keywrap_unwrap", |b| {
-        b.iter(|| keywrap::unwrap(&kek, std::hint::black_box(&wrapped)).unwrap())
+    std::hint::black_box(sink);
+    let keys_per_s = WRAP_KEYS as f64 / secs;
+    rows.push(Row {
+        kernel: "keywrap_batch",
+        backend,
+        mb_per_s: keys_per_s * WRAPPED_LEN as f64 / 1e6,
+        keys_per_s: Some(keys_per_s),
     });
 }
 
-criterion_group!(
-    benches,
-    bench_sha256,
-    bench_hmac,
-    bench_chacha20,
-    bench_keywrap
-);
-criterion_main!(benches);
+/// JSON string escape for host-context fields.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `rustc --version` of the toolchain on PATH, or "unknown".
+fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|v| v.trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let timestamp = std::env::var("BENCH_TIMESTAMP").ok();
+    let rustc = rustc_version();
+    let feats = simd::detect();
+    let selected = simd::active();
+
+    let mut backends = vec![Backend::Scalar];
+    if feats.sse2 {
+        backends.push(Backend::Sse2);
+    }
+    if feats.avx2 {
+        backends.push(Backend::Avx2);
+    }
+
+    println!(
+        "crypto kernel bench ({cores} core(s), sse2={} ssse3={} avx2={}, selected backend {selected}, {rustc})",
+        feats.sse2, feats.ssse3, feats.avx2
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &backend in &backends {
+        bench_chacha20(backend, &mut rows);
+        bench_sha256(backend, &mut rows);
+        bench_gf256(backend, &mut rows);
+        bench_keywrap(backend, &mut rows);
+    }
+    // Leave the process-wide selection as the environment dictates.
+    simd::force(selected);
+
+    for row in &rows {
+        match row.keys_per_s {
+            Some(k) => println!(
+                "{:<20} {:<7} {:>10.1} MB/s  {:>12.0} keys/s",
+                row.kernel,
+                row.backend.name(),
+                row.mb_per_s,
+                k
+            ),
+            None => println!(
+                "{:<20} {:<7} {:>10.1} MB/s",
+                row.kernel,
+                row.backend.name(),
+                row.mb_per_s
+            ),
+        }
+    }
+
+    // Best-supported-tier vs scalar ratio per kernel (1.0 when only
+    // scalar is available).
+    let kernels = [
+        "chacha20_multiblock",
+        "sha256",
+        "gf256_mul_acc",
+        "keywrap_batch",
+    ];
+    let ratio_for = |kernel: &str| -> f64 {
+        let scalar = rows
+            .iter()
+            .find(|r| r.kernel == kernel && r.backend == Backend::Scalar)
+            .map(|r| r.mb_per_s)
+            .unwrap_or(f64::NAN);
+        let best = rows
+            .iter()
+            .filter(|r| r.kernel == kernel)
+            .map(|r| r.mb_per_s)
+            .fold(f64::NAN, f64::max);
+        best / scalar
+    };
+    for kernel in kernels {
+        println!("{kernel}: best/scalar = {:.2}x", ratio_for(kernel));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"perf_crypto\",");
+    json.push_str("  \"host\": {\n");
+    let _ = writeln!(json, "    \"available_parallelism\": {cores},");
+    let _ = writeln!(
+        json,
+        "    \"cpu_features\": {{\"sse2\": {}, \"ssse3\": {}, \"avx2\": {}}},",
+        feats.sse2, feats.ssse3, feats.avx2
+    );
+    let _ = writeln!(json, "    \"selected_backend\": \"{selected}\",");
+    let _ = writeln!(json, "    \"rustc\": \"{}\",", json_escape(&rustc));
+    match &timestamp {
+        Some(ts) => {
+            let _ = writeln!(json, "    \"timestamp\": \"{}\"", json_escape(ts));
+        }
+        None => json.push_str("    \"timestamp\": null\n"),
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(json, "  \"reps_per_point\": {REPS},");
+    let _ = writeln!(json, "  \"bulk_buffer_bytes\": {BUF_LEN},");
+    let _ = writeln!(json, "  \"keywrap_batch_keys\": {WRAP_KEYS},");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let keys = match r.keys_per_s {
+            Some(k) => format!("{k:.0}"),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"backend\": \"{}\", \"mb_per_s\": {:.2}, \"keys_per_s\": {keys}}}{sep}",
+            r.kernel,
+            r.backend.name(),
+            r.mb_per_s
+        );
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"scalar_vs_best\": {\n");
+    for (i, kernel) in kernels.iter().enumerate() {
+        let sep = if i + 1 == kernels.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{kernel}\": {:.3}{sep}", ratio_for(kernel));
+    }
+    json.push_str("  }\n}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_crypto.json");
+    std::fs::write(path, &json).expect("write BENCH_crypto.json");
+    println!("wrote {path}");
+}

@@ -1,6 +1,8 @@
 //! Parallel rekey-engine benchmark: wall-clock time of one mixed
-//! rekey batch at 1/2/4/8 encryption workers for several group sizes,
-//! written to `BENCH_parallel.json` at the workspace root.
+//! rekey batch across a sweep of encryption worker counts (default
+//! 1/2/4/8, capped at `available_parallelism`; override with
+//! `--workers 1,2,4,8`) for several group sizes, written to
+//! `BENCH_parallel.json` at the workspace root.
 //!
 //! Two scenarios: a single LKH tree (workers split one tree's plan
 //! into chunks) and a four-tree loss-homogenized forest through the
@@ -24,8 +26,46 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 const GROUP_SIZES: [u64; 3] = [4096, 16384, 65536];
-const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const DEFAULT_WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const REPS: usize = 5;
+
+/// Worker counts to sweep and whether the default sweep was capped.
+///
+/// An explicit `--workers 1,2,4` (or `--workers=1,2,4`) after `--` is
+/// taken verbatim. Otherwise the default sweep is capped at
+/// `available_parallelism`: worker counts above the core count cannot
+/// speed anything up, so the uncapped sweep only produced
+/// honest-but-noisy <1.0× rows on small hosts. The cap is recorded in
+/// the JSON host block so readers know which rows were skipped.
+fn worker_counts(cores: usize) -> (Vec<usize>, bool) {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, arg) in args.iter().enumerate() {
+        let list = if let Some(rest) = arg.strip_prefix("--workers=") {
+            Some(rest.to_string())
+        } else if arg == "--workers" {
+            args.get(i + 1).cloned()
+        } else {
+            None
+        };
+        if let Some(list) = list {
+            let parsed: Vec<usize> = list
+                .split(',')
+                .filter_map(|w| w.trim().parse().ok())
+                .filter(|&w| w > 0)
+                .collect();
+            if !parsed.is_empty() {
+                return (parsed, false);
+            }
+        }
+    }
+    let capped: Vec<usize> = DEFAULT_WORKER_COUNTS
+        .iter()
+        .copied()
+        .filter(|&w| w <= cores)
+        .collect();
+    let was_capped = capped.len() < DEFAULT_WORKER_COUNTS.len();
+    (if capped.is_empty() { vec![1] } else { capped }, was_capped)
+}
 
 /// Loss-class boundaries for the cross-tree scenario: four trees.
 const BOUNDARIES: [f64; 3] = [0.25, 0.5, 0.75];
@@ -140,7 +180,16 @@ fn main() {
     // rather than computed, so reruns on fixed inputs stay reproducible.
     let timestamp = std::env::var("BENCH_TIMESTAMP").ok();
     let rustc = rustc_version();
+    let (sweep, sweep_capped) = worker_counts(cores);
     println!("parallel rekey engine bench ({cores} core(s) available, {rustc})");
+    println!(
+        "worker sweep: {sweep:?}{}",
+        if sweep_capped {
+            " (default sweep capped at available_parallelism; pass --workers to override)"
+        } else {
+            ""
+        }
+    );
 
     let mut samples: Vec<Sample> = Vec::new();
     for n in GROUP_SIZES {
@@ -148,7 +197,7 @@ fn main() {
         let (joins, leavers) = churn(n);
         let mut seq_min = 0.0f64;
         let mut reference = None;
-        for workers in WORKER_COUNTS {
+        for (wi, &workers) in sweep.iter().enumerate() {
             let mut times = Vec::with_capacity(REPS);
             let mut encrypted_keys = 0;
             for rep in 0..REPS {
@@ -170,7 +219,7 @@ fn main() {
             }
             let min_s = times.iter().cloned().fold(f64::INFINITY, f64::min);
             let mean_s = times.iter().sum::<f64>() / times.len() as f64;
-            if workers == 1 {
+            if wi == 0 {
                 seq_min = min_s;
             }
             let speedup = seq_min / min_s;
@@ -200,7 +249,7 @@ fn main() {
         let (joins, leavers) = forest_churn(n);
         let mut seq_min = 0.0f64;
         let mut reference = None;
-        for workers in WORKER_COUNTS {
+        for (wi, &workers) in sweep.iter().enumerate() {
             let mut times = Vec::with_capacity(REPS);
             let mut encrypted_keys = 0;
             for rep in 0..REPS {
@@ -222,7 +271,7 @@ fn main() {
             }
             let min_s = times.iter().cloned().fold(f64::INFINITY, f64::min);
             let mean_s = times.iter().sum::<f64>() / times.len() as f64;
-            if workers == 1 {
+            if wi == 0 {
                 seq_min = min_s;
             }
             let speedup = seq_min / min_s;
@@ -248,6 +297,19 @@ fn main() {
     let _ = writeln!(json, "  \"bench\": \"perf_parallel\",");
     json.push_str("  \"host\": {\n");
     let _ = writeln!(json, "    \"available_parallelism\": {cores},");
+    let _ = writeln!(
+        json,
+        "    \"worker_sweep\": [{}],",
+        sweep
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "    \"worker_sweep_capped_at_cores\": {sweep_capped},"
+    );
     let _ = writeln!(json, "    \"rustc\": \"{}\",", json_escape(&rustc));
     match &timestamp {
         Some(ts) => {

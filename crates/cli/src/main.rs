@@ -65,6 +65,11 @@
 //!     epoch stream (reconnecting with backoff, NACKing gaps), and
 //!     report the final key state when the server says goodbye or the
 //!     stream goes idle.
+//!
+//! rekey simd
+//!     Report the detected CPU SIMD features, the `REKEY_SIMD`
+//!     override (if any), and the crypto-kernel backend this process
+//!     selected (avx2 → sse2 → scalar).
 //! ```
 
 mod args;
@@ -90,7 +95,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str =
-    "usage: rekey <model|simulate|recommend|transport|trace-check|fuzz|serve|client> [--flag value ...]
+    "usage: rekey <model|simulate|recommend|transport|trace-check|fuzz|serve|client|simd> [--flag value ...]
 run `rekey help` or see the crate docs for the full flag list";
 
 fn main() -> ExitCode {
@@ -110,6 +115,7 @@ fn main() -> ExitCode {
         Some("fuzz") => cmd_fuzz(&args),
         Some("serve") => cmd_serve(&args),
         Some("client") => cmd_client(&args),
+        Some("simd") => cmd_simd(),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -244,6 +250,22 @@ fn cmd_trace_check(args: &Args) -> CliResult {
         summary.span_names.len(),
         summary.counter_events
     );
+    Ok(())
+}
+
+/// Report CPU features and the selected crypto-kernel backend — the
+/// fast way to confirm what `REKEY_SIMD` resolves to on a given host.
+fn cmd_simd() -> CliResult {
+    let feats = rekey_crypto::simd::detect();
+    println!(
+        "cpu features:     sse2={} ssse3={} avx2={}",
+        feats.sse2, feats.ssse3, feats.avx2
+    );
+    match std::env::var("REKEY_SIMD") {
+        Ok(v) => println!("REKEY_SIMD:       {v}"),
+        Err(_) => println!("REKEY_SIMD:       (unset — auto)"),
+    }
+    println!("selected backend: {}", rekey_crypto::simd::active());
     Ok(())
 }
 

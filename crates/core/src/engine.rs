@@ -527,6 +527,17 @@ impl<P: PlacementPolicy> GroupKeyManager for RekeyEngine<P> {
                 .dek_entries(&ctx, &interval, &trees, &mut message, rng);
         }
 
+        // Per-backend throughput counter: lets traces attribute this
+        // interval's encryption work to the SIMD tier that ran it.
+        rekey_obs::count(
+            match rekey_crypto::simd::active() {
+                rekey_crypto::simd::Backend::Scalar => "engine.encrypted_keys.scalar",
+                rekey_crypto::simd::Backend::Sse2 => "engine.encrypted_keys.sse2",
+                rekey_crypto::simd::Backend::Avx2 => "engine.encrypted_keys.avx2",
+            },
+            message.encrypted_key_count() as u64,
+        );
+
         Ok(IntervalOutcome {
             stats: IntervalStats {
                 joins: joins.len(),

@@ -1,36 +1,46 @@
 //! HMAC-SHA256 as specified in RFC 2104 / FIPS 198-1.
 //!
 //! Validated against the RFC 4231 test vectors.
+//!
+//! Keying HMAC costs two SHA-256 compressions (one per pad block)
+//! before the first message byte is absorbed. [`HmacKey`] performs
+//! them once and stores the post-pad inner and outer hash states;
+//! every MAC started from it ([`HmacKey::mac`]) is then a pair of
+//! cheap state clones. [`crate::keywrap`] relies on this to amortize
+//! MAC setup across all entries wrapped under the same key-encryption
+//! key in a rekey batch.
 
 use crate::sha256::{self, Sha256, BLOCK_LEN, DIGEST_LEN};
 
-/// Incremental HMAC-SHA256 computation.
+/// A reusable HMAC-SHA256 key: the inner (ipad) and outer (opad) hash
+/// states, precomputed once.
 ///
 /// # Example
 ///
 /// ```
-/// use rekey_crypto::hmac::HmacSha256;
+/// use rekey_crypto::hmac::{hmac, HmacKey};
 ///
-/// let mut mac = HmacSha256::new(b"key");
+/// let key = HmacKey::new(b"key");
+/// let mut mac = key.mac();
 /// mac.update(b"message");
-/// let tag = mac.finalize();
-/// assert_eq!(tag, rekey_crypto::hmac::hmac(b"key", b"message"));
+/// assert_eq!(mac.finalize(), hmac(b"key", b"message"));
 /// ```
 #[derive(Clone)]
-pub struct HmacSha256 {
+pub struct HmacKey {
     inner: Sha256,
-    opad_key: [u8; BLOCK_LEN],
+    outer: Sha256,
 }
 
-impl std::fmt::Debug for HmacSha256 {
+impl std::fmt::Debug for HmacKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HmacSha256").finish_non_exhaustive()
+        f.debug_struct("HmacKey").finish_non_exhaustive()
     }
 }
 
-impl HmacSha256 {
-    /// Creates an HMAC instance keyed with `key` (any length; keys
-    /// longer than the block size are hashed first, per the RFC).
+impl HmacKey {
+    /// Schedules `key` (any length; keys longer than the block size
+    /// are hashed first, per the RFC): XORs the pads and absorbs one
+    /// block into each of the inner and outer states.
     pub fn new(key: &[u8]) -> Self {
         let mut block_key = [0u8; BLOCK_LEN];
         if key.len() > BLOCK_LEN {
@@ -49,7 +59,51 @@ impl HmacSha256 {
 
         let mut inner = Sha256::new();
         inner.update(&ipad_key);
-        HmacSha256 { inner, opad_key }
+        let mut outer = Sha256::new();
+        outer.update(&opad_key);
+        HmacKey { inner, outer }
+    }
+
+    /// Starts a MAC computation from the precomputed pad states.
+    pub fn mac(&self) -> HmacSha256 {
+        HmacSha256 {
+            inner: self.inner.clone(),
+            outer: self.outer.clone(),
+        }
+    }
+}
+
+/// Incremental HMAC-SHA256 computation.
+///
+/// # Example
+///
+/// ```
+/// use rekey_crypto::hmac::HmacSha256;
+///
+/// let mut mac = HmacSha256::new(b"key");
+/// mac.update(b"message");
+/// let tag = mac.finalize();
+/// assert_eq!(tag, rekey_crypto::hmac::hmac(b"key", b"message"));
+/// ```
+#[derive(Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer: Sha256,
+}
+
+impl std::fmt::Debug for HmacSha256 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HmacSha256").finish_non_exhaustive()
+    }
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC instance keyed with `key` (any length; keys
+    /// longer than the block size are hashed first, per the RFC).
+    /// Callers computing many MACs under one key should schedule an
+    /// [`HmacKey`] once instead.
+    pub fn new(key: &[u8]) -> Self {
+        HmacKey::new(key).mac()
     }
 
     /// Absorbs message bytes.
@@ -61,8 +115,7 @@ impl HmacSha256 {
     pub fn finalize(self) -> [u8; DIGEST_LEN] {
         rekey_obs::count("crypto.hmac", 1);
         let inner_digest = self.inner.finalize();
-        let mut outer = Sha256::new();
-        outer.update(&self.opad_key);
+        let mut outer = self.outer;
         outer.update(&inner_digest);
         outer.finalize()
     }

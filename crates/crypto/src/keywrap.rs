@@ -15,9 +15,20 @@
 //! The wire size of one wrapped key is [`WRAPPED_LEN`] = 60 bytes;
 //! the transport crate uses this to convert "number of encrypted keys"
 //! (the paper's cost metric) into bytes.
+//!
+//! # Batching
+//!
+//! Step 1 (sub-key derivation, two HKDF expands) and the HMAC key
+//! schedule are pure functions of the KEK alone, yet a rekey batch
+//! wraps many entries under the *same* KEK — every entry of a node's
+//! sibling set, and every entry along a joining member's path. A
+//! [`WrapKek`] performs that setup once; `wrap`/`unwrap` through it
+//! cost only the per-entry cipher + MAC work. The output is a pure
+//! function of (KEK, payload, nonce), so wrapping through a cached
+//! [`WrapKek`] is byte-identical to the one-shot free functions.
 
 use crate::chacha20;
-use crate::hmac::HmacSha256;
+use crate::hmac::HmacKey;
 use crate::{ct_eq, CryptoError, Key};
 use rand::RngCore;
 
@@ -73,46 +84,111 @@ impl WrappedKey {
     }
 }
 
-fn subkeys(kek: &Key) -> ([u8; 32], [u8; 32]) {
-    (
-        *kek.derive(b"wrap-enc").as_bytes(),
-        *kek.derive(b"wrap-mac").as_bytes(),
-    )
+/// A key-encryption key with its wrap setup done: derived encryption
+/// sub-key plus a scheduled HMAC key.
+///
+/// Construction costs two HKDF expands and the HMAC pad compressions;
+/// each subsequent [`wrap`](WrapKek::wrap) / [`unwrap`](WrapKek::unwrap)
+/// skips all of it. The key server's batch scratch caches one of these
+/// per (node, key version) so sibling entries share the setup.
+///
+/// # Example
+///
+/// ```
+/// use rekey_crypto::{Key, keywrap, keywrap::WrapKek};
+///
+/// let kek = Key::from_bytes([7; 32]);
+/// let payload = Key::from_bytes([8; 32]);
+/// let cached = WrapKek::new(&kek);
+/// let a = cached.wrap_with_nonce(&payload, [9; 12]);
+/// let b = keywrap::wrap_with_nonce(&kek, &payload, [9; 12]);
+/// assert_eq!(a, b);
+/// ```
+#[derive(Clone)]
+pub struct WrapKek {
+    enc_key: [u8; 32],
+    mac: HmacKey,
 }
 
-fn compute_tag(mac_key: &[u8; 32], nonce: &[u8; NONCE_LEN], ct: &[u8; 32]) -> [u8; TAG_LEN] {
-    let mut mac = HmacSha256::new(mac_key);
-    mac.update(nonce);
-    mac.update(ct);
-    let full = mac.finalize();
-    let mut tag = [0u8; TAG_LEN];
-    tag.copy_from_slice(&full[..TAG_LEN]);
-    tag
+impl std::fmt::Debug for WrapKek {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WrapKek").finish_non_exhaustive()
+    }
+}
+
+impl WrapKek {
+    /// Derives the wrap sub-keys from `kek` and schedules the MAC key.
+    pub fn new(kek: &Key) -> Self {
+        WrapKek {
+            enc_key: *kek.derive(b"wrap-enc").as_bytes(),
+            mac: HmacKey::new(kek.derive(b"wrap-mac").as_bytes()),
+        }
+    }
+
+    fn compute_tag(&self, nonce: &[u8; NONCE_LEN], ct: &[u8; 32]) -> [u8; TAG_LEN] {
+        let mut mac = self.mac.mac();
+        mac.update(nonce);
+        mac.update(ct);
+        let full = mac.finalize();
+        let mut tag = [0u8; TAG_LEN];
+        tag.copy_from_slice(&full[..TAG_LEN]);
+        tag
+    }
+
+    /// Encrypts `payload` with a fresh random nonce from `rng`.
+    pub fn wrap<R: RngCore>(&self, payload: &Key, rng: &mut R) -> WrappedKey {
+        let mut nonce = [0u8; NONCE_LEN];
+        rng.fill_bytes(&mut nonce);
+        self.wrap_with_nonce(payload, nonce)
+    }
+
+    /// Encrypts `payload` with a caller-chosen nonce.
+    ///
+    /// Deterministic; callers must never reuse a nonce with the same
+    /// KEK.
+    pub fn wrap_with_nonce(&self, payload: &Key, nonce: [u8; NONCE_LEN]) -> WrappedKey {
+        rekey_obs::count("crypto.keywrap.wrap", 1);
+        let mut ciphertext = *payload.as_bytes();
+        chacha20::xor_in_place(&self.enc_key, &nonce, 1, &mut ciphertext);
+        let tag = self.compute_tag(&nonce, &ciphertext);
+        WrappedKey {
+            nonce,
+            ciphertext,
+            tag,
+        }
+    }
+
+    /// Decrypts a wrapped key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::BadTag`] if `wrapped` was not produced
+    /// under this KEK (or was corrupted in transit).
+    pub fn unwrap(&self, wrapped: &WrappedKey) -> Result<Key, CryptoError> {
+        rekey_obs::count("crypto.keywrap.unwrap", 1);
+        let expected = self.compute_tag(&wrapped.nonce, &wrapped.ciphertext);
+        if !ct_eq(&expected, &wrapped.tag) {
+            return Err(CryptoError::BadTag);
+        }
+        let mut plaintext = wrapped.ciphertext;
+        chacha20::xor_in_place(&self.enc_key, &wrapped.nonce, 1, &mut plaintext);
+        Ok(Key::from_bytes(plaintext))
+    }
 }
 
 /// Encrypts `payload` under `kek` with a fresh random nonce from `rng`.
 pub fn wrap<R: RngCore>(kek: &Key, payload: &Key, rng: &mut R) -> WrappedKey {
-    let mut nonce = [0u8; NONCE_LEN];
-    rng.fill_bytes(&mut nonce);
-    wrap_with_nonce(kek, payload, nonce)
+    WrapKek::new(kek).wrap(payload, rng)
 }
 
 /// Encrypts `payload` under `kek` with a caller-chosen nonce.
 ///
 /// Deterministic; used by tests and by protocol variants that derive
 /// nonces from sequence numbers. Callers must never reuse a nonce with
-/// the same KEK.
+/// the same KEK. Wrapping many keys under one KEK should go through a
+/// cached [`WrapKek`] instead.
 pub fn wrap_with_nonce(kek: &Key, payload: &Key, nonce: [u8; NONCE_LEN]) -> WrappedKey {
-    rekey_obs::count("crypto.keywrap.wrap", 1);
-    let (enc_key, mac_key) = subkeys(kek);
-    let mut ciphertext = *payload.as_bytes();
-    chacha20::xor_in_place(&enc_key, &nonce, 1, &mut ciphertext);
-    let tag = compute_tag(&mac_key, &nonce, &ciphertext);
-    WrappedKey {
-        nonce,
-        ciphertext,
-        tag,
-    }
+    WrapKek::new(kek).wrap_with_nonce(payload, nonce)
 }
 
 /// Decrypts a wrapped key.
@@ -124,15 +200,7 @@ pub fn wrap_with_nonce(kek: &Key, payload: &Key, nonce: [u8; NONCE_LEN]) -> Wrap
 /// observes when it tries to decrypt a rekey entry that is not
 /// addressed to any key it holds.
 pub fn unwrap(kek: &Key, wrapped: &WrappedKey) -> Result<Key, CryptoError> {
-    rekey_obs::count("crypto.keywrap.unwrap", 1);
-    let (enc_key, mac_key) = subkeys(kek);
-    let expected = compute_tag(&mac_key, &wrapped.nonce, &wrapped.ciphertext);
-    if !ct_eq(&expected, &wrapped.tag) {
-        return Err(CryptoError::BadTag);
-    }
-    let mut plaintext = wrapped.ciphertext;
-    chacha20::xor_in_place(&enc_key, &wrapped.nonce, 1, &mut plaintext);
-    Ok(Key::from_bytes(plaintext))
+    WrapKek::new(kek).unwrap(wrapped)
 }
 
 #[cfg(test)]
@@ -219,6 +287,30 @@ mod tests {
         let b = wrap_with_nonce(&kek, &payload, [3; NONCE_LEN]);
         assert_eq!(a, b);
         assert_eq!(unwrap(&kek, &a).unwrap(), payload);
+    }
+
+    #[test]
+    fn cached_kek_matches_oneshot() {
+        let kek = Key::from_bytes([5; 32]);
+        let payload = Key::from_bytes([6; 32]);
+        let cached = WrapKek::new(&kek);
+        for nonce_byte in 0..8u8 {
+            let nonce = [nonce_byte; NONCE_LEN];
+            let via_cache = cached.wrap_with_nonce(&payload, nonce);
+            let via_oneshot = wrap_with_nonce(&kek, &payload, nonce);
+            assert_eq!(via_cache, via_oneshot);
+            assert_eq!(cached.unwrap(&via_oneshot).unwrap(), payload);
+            assert_eq!(unwrap(&kek, &via_cache).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn cached_kek_rejects_wrong_key() {
+        let kek = Key::from_bytes([5; 32]);
+        let payload = Key::from_bytes([6; 32]);
+        let wrapped = wrap_with_nonce(&kek, &payload, [1; NONCE_LEN]);
+        let other = WrapKek::new(&Key::from_bytes([9; 32]));
+        assert_eq!(other.unwrap(&wrapped), Err(CryptoError::BadTag));
     }
 
     #[test]

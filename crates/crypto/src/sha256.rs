@@ -3,6 +3,19 @@
 //! Provides an incremental [`Sha256`] hasher and a one-shot [`digest`]
 //! convenience function. Validated against the standard test vectors
 //! (empty message, `"abc"`, and the two-block NIST message).
+//!
+//! # SIMD message schedule
+//!
+//! The 64-round compression is a serial dependency chain, but the
+//! message-schedule expansion (`w[16..64]`) is only *mostly* serial:
+//! `w[i]` needs `w[i-2]`, so four words can be produced per pass with
+//! the `σ₀`/`w[i-16]`/`w[i-7]` terms computed four-wide and the `σ₁`
+//! term applied in two half-vector steps. On SSE2-class hardware (and
+//! above) the hasher dispatches to that vector schedule via
+//! [`crate::simd`]; the scalar schedule remains the reference and the
+//! two are pinned identical by `tests/simd_equiv.rs`.
+
+use crate::simd::{self, Backend};
 
 /// Output size of SHA-256 in bytes.
 pub const DIGEST_LEN: usize = 32;
@@ -44,6 +57,7 @@ pub struct Sha256 {
     buf: [u8; BLOCK_LEN],
     buf_len: usize,
     total_len: u64,
+    backend: Backend,
 }
 
 impl Default for Sha256 {
@@ -61,13 +75,22 @@ impl std::fmt::Debug for Sha256 {
 }
 
 impl Sha256 {
-    /// Creates a hasher in the initial state.
+    /// Creates a hasher in the initial state, on the process-wide SIMD
+    /// backend.
     pub fn new() -> Self {
+        Self::new_with(simd::active())
+    }
+
+    /// Creates a hasher pinned to an explicit backend — entry point
+    /// for the SIMD equivalence tests and per-backend benches. The
+    /// digest is byte-identical for every backend.
+    pub fn new_with(backend: Backend) -> Self {
         Sha256 {
             state: H0,
             buf: [0u8; BLOCK_LEN],
             buf_len: 0,
             total_len: 0,
+            backend,
         }
     }
 
@@ -116,6 +139,14 @@ impl Sha256 {
         for (i, word) in self.state.iter().enumerate() {
             out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
         }
+        rekey_obs::count(
+            match self.backend {
+                Backend::Scalar => "crypto.sha256_digests.scalar",
+                Backend::Sse2 => "crypto.sha256_digests.sse2",
+                Backend::Avx2 => "crypto.sha256_digests.avx2",
+            },
+            1,
+        );
         out
     }
 
@@ -139,13 +170,12 @@ impl Sha256 {
                 block[4 * i + 3],
             ]);
         }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
+        match self.backend {
+            Backend::Scalar => schedule_scalar(&mut w),
+            #[cfg(target_arch = "x86_64")]
+            Backend::Sse2 | Backend::Avx2 => x86::schedule(&mut w),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => schedule_scalar(&mut w),
         }
 
         let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
@@ -181,6 +211,106 @@ impl Sha256 {
     }
 }
 
+/// Scalar reference message-schedule expansion: fills `w[16..64]`.
+fn schedule_scalar(w: &mut [u32; 64]) {
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+}
+
+/// Vectorized message schedule. Four words per pass: the
+/// `w[i-16] + σ₀(w[i-15]) + w[i-7]` partial is computed four-wide
+/// (all inputs at least four slots old), then the `σ₁(w[i-2])` term —
+/// whose upper two lanes depend on the lower two — is folded in with
+/// two half-vector steps.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86 {
+    use core::arch::x86_64::*;
+
+    /// Rotate each 32-bit lane right by a literal amount. A macro
+    /// because the shift intrinsics take legacy-const-generic
+    /// immediates that cannot be computed from a generic parameter.
+    macro_rules! ror {
+        ($x:expr, $n:literal) => {{
+            let x = $x;
+            _mm_or_si128(_mm_srli_epi32(x, $n), _mm_slli_epi32(x, 32 - $n))
+        }};
+    }
+
+    /// `σ₀(x) = ror⁷ ⊕ ror¹⁸ ⊕ shr³`, lane-wise.
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn sigma0(x: __m128i) -> __m128i {
+        _mm_xor_si128(_mm_xor_si128(ror!(x, 7), ror!(x, 18)), _mm_srli_epi32(x, 3))
+    }
+
+    /// `σ₁(x) = ror¹⁷ ⊕ ror¹⁹ ⊕ shr¹⁰`, lane-wise.
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn sigma1(x: __m128i) -> __m128i {
+        _mm_xor_si128(
+            _mm_xor_si128(ror!(x, 17), ror!(x, 19)),
+            _mm_srli_epi32(x, 10),
+        )
+    }
+
+    /// Safe entry: expands the message schedule with the SSE2 kernel.
+    ///
+    /// Soundness of the `unsafe` block: SSE2 is part of the x86_64
+    /// baseline ABI, so the kernel's required target feature is always
+    /// present on this architecture (this module is only compiled for
+    /// `target_arch = "x86_64"`).
+    pub fn schedule(w: &mut [u32; 64]) {
+        // SAFETY: SSE2 is baseline on x86_64.
+        unsafe { schedule_sse2(w) }
+    }
+
+    /// # Safety
+    ///
+    /// Requires SSE2 (baseline on x86_64).
+    /// `[b, c]` u32-concatenation: lanes `[b₁, b₂, b₃, c₀]` — the SSE2
+    /// spelling of SSSE3 `palignr` by 4 bytes.
+    #[inline]
+    #[target_feature(enable = "sse2")]
+    unsafe fn alignr4(hi: __m128i, lo: __m128i) -> __m128i {
+        _mm_or_si128(_mm_srli_si128(lo, 4), _mm_slli_si128(hi, 12))
+    }
+
+    unsafe fn schedule_sse2(w: &mut [u32; 64]) {
+        let p = w.as_mut_ptr();
+        // The sliding 16-word window lives entirely in four registers:
+        // q0 = w[i-16..i-12], …, q3 = w[i-4..i]. The -15/-7/-2 taps are
+        // register shuffles, never loads — a load that partially
+        // overlaps a recent store (as any in-place schedule's taps do)
+        // stalls store-forwarding on every iteration.
+        let mut q0 = _mm_loadu_si128(p as *const __m128i);
+        let mut q1 = _mm_loadu_si128(p.add(4) as *const __m128i);
+        let mut q2 = _mm_loadu_si128(p.add(8) as *const __m128i);
+        let mut q3 = _mm_loadu_si128(p.add(12) as *const __m128i);
+        for i in (16..64).step_by(4) {
+            let wm15 = alignr4(q1, q0);
+            let wm7 = alignr4(q3, q2);
+            // part = w[i-16] + σ₀(w[i-15]) + w[i-7], lanes i..i+4.
+            let part = _mm_add_epi32(_mm_add_epi32(q0, sigma0(wm15)), wm7);
+            // Lanes 0–1: σ₁ of w[i-2], w[i-1] — the top half of q3.
+            let lo = _mm_add_epi32(part, sigma1(_mm_srli_si128(q3, 8)));
+            // Lanes 2–3: σ₁ of the w[i], w[i+1] just computed in the
+            // low half of `lo`, shifted up (σ₁(0) = 0 fills the rest).
+            let hi = _mm_add_epi32(part, sigma1(_mm_slli_si128(lo, 8)));
+            // [lo₀, lo₁, hi₂, hi₃] — one store per pass, no reload.
+            let out = _mm_unpacklo_epi64(lo, _mm_srli_si128(hi, 8));
+            _mm_storeu_si128(p.add(i) as *mut __m128i, out);
+            (q0, q1, q2, q3) = (q1, q2, q3, out);
+        }
+    }
+}
+
 /// Computes the SHA-256 digest of `data` in one shot.
 ///
 /// ```
@@ -189,6 +319,14 @@ impl Sha256 {
 /// ```
 pub fn digest(data: &[u8]) -> [u8; DIGEST_LEN] {
     let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// [`digest`] on an explicit backend (SIMD equivalence tests and
+/// per-backend benches).
+pub fn digest_with(backend: Backend, data: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut h = Sha256::new_with(backend);
     h.update(data);
     h.finalize()
 }
@@ -263,5 +401,31 @@ mod tests {
     #[test]
     fn debug_is_nonempty() {
         assert!(!format!("{:?}", Sha256::new()).is_empty());
+    }
+
+    /// The SIMD message schedule is byte-identical to the scalar
+    /// reference on every supported backend, across padding
+    /// boundaries.
+    #[test]
+    fn backends_match_scalar_reference() {
+        let feats = simd::detect();
+        let mut backends = Vec::new();
+        if feats.sse2 {
+            backends.push(Backend::Sse2);
+        }
+        if feats.avx2 {
+            backends.push(Backend::Avx2);
+        }
+        for len in [0usize, 1, 55, 56, 63, 64, 65, 127, 128, 1000] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 131 + 17) as u8).collect();
+            let reference = digest_with(Backend::Scalar, &data);
+            for &backend in &backends {
+                assert_eq!(
+                    digest_with(backend, &data),
+                    reference,
+                    "len={len} {backend}"
+                );
+            }
+        }
     }
 }

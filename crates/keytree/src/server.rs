@@ -48,9 +48,9 @@ use crate::message::{RekeyEntry, RekeyMessage};
 use crate::tree::KeyTree;
 use crate::{KeyTreeError, MemberId, NodeId};
 use rand::RngCore;
-use rekey_crypto::keywrap::{self, WrappedKey, NONCE_LEN};
+use rekey_crypto::keywrap::{self, WrapKek, WrappedKey, NONCE_LEN};
 use rekey_crypto::Key;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// Below this many planned encryptions a batch is executed inline:
 /// thread spawn/join overhead would dominate the crypto work.
@@ -111,20 +111,25 @@ struct EntryMeta {
     target_depth: u32,
 }
 
-/// One planned key encryption: a pure function of its fields, ready to
-/// execute on any worker. Keys are held inline (32-byte copies, no
-/// heap) so workers never chase pointers into the tree.
+/// One planned key encryption: a pure function of its fields (plus the
+/// batch's shared KEK arena), ready to execute on any worker. The
+/// payload key is held inline (32-byte copy) so workers never chase
+/// pointers into the tree; the KEK is an index into
+/// [`RekeyScratch::keks`], where its derived sub-keys and scheduled MAC
+/// state live once per (node, version) rather than once per entry —
+/// all sibling entries of a node and all entries along a joiner's path
+/// share one setup.
 #[derive(Debug, Clone)]
 struct PlannedWrap {
-    kek: Key,
+    kek_slot: usize,
     payload: Key,
     nonce: [u8; NONCE_LEN],
     meta: EntryMeta,
 }
 
 impl PlannedWrap {
-    fn execute(&self) -> WrappedKey {
-        keywrap::wrap_with_nonce(&self.kek, &self.payload, self.nonce)
+    fn execute(&self, keks: &[WrapKek]) -> WrappedKey {
+        keks[self.kek_slot].wrap_with_nonce(&self.payload, self.nonce)
     }
 
     fn into_entry(self, wrapped: WrappedKey) -> RekeyEntry {
@@ -169,6 +174,13 @@ pub struct RekeyScratch {
     plan: Vec<PlannedWrap>,
     /// Per-plan-slot results written by the worker pool.
     wrapped: Vec<Option<WrappedKey>>,
+    /// Prepared KEKs (derived sub-keys + scheduled MAC state), one per
+    /// distinct wrapping key of the batch; [`PlannedWrap::kek_slot`]
+    /// indexes here.
+    keks: Vec<WrapKek>,
+    /// Dedup map for `keks`: the `(node, key version)` identity of a
+    /// wrapping key → its slot.
+    kek_slots: HashMap<(NodeId, u64), usize>,
 }
 
 impl RekeyScratch {
@@ -181,6 +193,8 @@ impl RekeyScratch {
         self.path_spans.clear();
         self.plan.clear();
         self.wrapped.clear();
+        self.keks.clear();
+        self.kek_slots.clear();
     }
 
     fn old_version_of(&self, node: NodeId) -> Option<&(NodeId, u64, Key)> {
@@ -189,6 +203,24 @@ impl RekeyScratch {
             .ok()
             .map(|i| &self.old_versions[i])
     }
+}
+
+/// Slot of the prepared [`WrapKek`] for the wrapping key identified by
+/// `(under, version)`, running the (HKDF + HMAC-schedule) setup only on
+/// the first entry planned under it. A free function over the two
+/// scratch fields so planning loops can call it while iterating other
+/// scratch buffers.
+fn kek_slot_for(
+    keks: &mut Vec<WrapKek>,
+    slots: &mut HashMap<(NodeId, u64), usize>,
+    under: NodeId,
+    version: u64,
+    key: &Key,
+) -> usize {
+    *slots.entry((under, version)).or_insert_with(|| {
+        keks.push(WrapKek::new(key));
+        keks.len() - 1
+    })
 }
 
 /// The key server for one logical key tree.
@@ -481,8 +513,15 @@ impl LkhServer {
             let (new_key, new_version) = tree.key_of(node).expect("dirty node is alive");
             let depth = tree.depth_of(node).expect("dirty node is alive") as u32;
             for child in tree.children_of(node).expect("dirty node is alive") {
+                let kek_slot = kek_slot_for(
+                    &mut scratch.keks,
+                    &mut scratch.kek_slots,
+                    child.id,
+                    child.version,
+                    child.key,
+                );
                 scratch.plan.push(PlannedWrap {
-                    kek: child.key.clone(),
+                    kek_slot,
                     payload: new_key.clone(),
                     nonce: [0; NONCE_LEN],
                     meta: EntryMeta {
@@ -526,10 +565,20 @@ impl LkhServer {
             // existing member below already holds it. A brand-new node
             // (created by a leaf split) has no previous holders and
             // skips this entry.
-            if let Some(&(_, old_version, ref old_key)) = scratch.old_version_of(node) {
+            let old = scratch
+                .old_version_of(node)
+                .map(|&(_, v, ref k)| (v, k.clone()));
+            if let Some((old_version, old_key)) = old {
                 if old_version < new_version && !scratch.created.contains(&node) {
+                    let kek_slot = kek_slot_for(
+                        &mut scratch.keks,
+                        &mut scratch.kek_slots,
+                        node,
+                        old_version,
+                        &old_key,
+                    );
                     scratch.plan.push(PlannedWrap {
-                        kek: old_key.clone(),
+                        kek_slot,
                         payload: new_key.clone(),
                         nonce: [0; NONCE_LEN],
                         meta: EntryMeta {
@@ -550,8 +599,15 @@ impl LkhServer {
             for ((member, leaf), &(start, len)) in joined_leaves.iter().zip(&scratch.path_spans) {
                 if scratch.path_nodes[start..start + len].contains(&node) {
                     let (leaf_key, _) = tree.key_of(*leaf).expect("fresh leaf is alive");
+                    let kek_slot = kek_slot_for(
+                        &mut scratch.keks,
+                        &mut scratch.kek_slots,
+                        *leaf,
+                        0,
+                        leaf_key,
+                    );
                     scratch.plan.push(PlannedWrap {
-                        kek: leaf_key.clone(),
+                        kek_slot,
                         payload: new_key.clone(),
                         nonce: [0; NONCE_LEN],
                         meta: EntryMeta {
@@ -579,8 +635,15 @@ impl LkhServer {
                 if joined_leaves.iter().any(|&(_, l)| l == child.id) {
                     continue; // already covered by per-joiner entries
                 }
+                let kek_slot = kek_slot_for(
+                    &mut scratch.keks,
+                    &mut scratch.kek_slots,
+                    child.id,
+                    child.version,
+                    child.key,
+                );
                 scratch.plan.push(PlannedWrap {
-                    kek: child.key.clone(),
+                    kek_slot,
                     payload: new_key.clone(),
                     nonce: [0; NONCE_LEN],
                     meta: EntryMeta {
@@ -608,11 +671,12 @@ impl LkhServer {
         let workers = self.parallelism.min(jobs.max(1));
 
         if workers <= 1 || jobs < PARALLEL_MIN_JOBS {
+            let keks = &scratch.keks;
             return scratch
                 .plan
                 .drain(..)
                 .map(|job| {
-                    let wrapped = job.execute();
+                    let wrapped = job.execute(keks);
                     job.into_entry(wrapped)
                 })
                 .collect();
@@ -621,12 +685,13 @@ impl LkhServer {
         scratch.wrapped.resize(jobs, None);
         let chunk = jobs.div_ceil(workers);
         let plan = &scratch.plan;
+        let keks = &scratch.keks;
         std::thread::scope(|scope| {
             for (in_chunk, out_chunk) in plan.chunks(chunk).zip(scratch.wrapped.chunks_mut(chunk)) {
                 scope.spawn(move || {
                     let _span = rekey_obs::span!("rekey.execute.worker");
                     for (job, slot) in in_chunk.iter().zip(out_chunk) {
-                        *slot = Some(job.execute());
+                        *slot = Some(job.execute(keks));
                     }
                 });
             }

@@ -3,9 +3,11 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rekey_crypto::simd::{self, Backend};
 use rekey_crypto::Key;
 use rekey_keytree::server::LkhServer;
 use rekey_keytree::MemberId;
+use rekey_transport::gf256;
 use rekey_transport::interest::{interest_map, total_interest};
 use rekey_transport::loss::Population;
 use rekey_transport::packet::{decode_block, decode_entry, encode_entry, pack, Packet};
@@ -155,5 +157,40 @@ proptest! {
             &out.message, &interest, &pop, &WkaBkrConfig::default(), &mut rng);
         prop_assert!(outcome.report.complete, "incomplete: {:?}", outcome.report);
         prop_assert!(outcome.report.keys_transmitted >= out.message.entries.len());
+    }
+
+    /// GF(256) SIMD backends are byte-identical to scalar for
+    /// `mul_acc` and `scale` over arbitrary coefficients, unaligned
+    /// buffers, and lengths straddling the 16/32-byte vector strides.
+    #[test]
+    fn gf256_simd_backends_match_scalar(c in any::<u8>(),
+                                        len in 0usize..4 * 32 + 4,
+                                        offset in 0usize..16,
+                                        seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let src: Vec<u8> = (0..offset + len).map(|_| rand::Rng::gen(&mut rng)).collect();
+        let base: Vec<u8> = (0..offset + len).map(|_| rand::Rng::gen(&mut rng)).collect();
+
+        let mut acc_ref = base.clone();
+        gf256::mul_acc_with(Backend::Scalar, &mut acc_ref[offset..], &src[offset..], c);
+        let mut scale_ref = base.clone();
+        gf256::scale_with(Backend::Scalar, &mut scale_ref[offset..], c);
+
+        let feats = simd::detect();
+        let mut backends = vec![Backend::Scalar];
+        if feats.sse2 {
+            backends.push(Backend::Sse2);
+        }
+        if feats.avx2 {
+            backends.push(Backend::Avx2);
+        }
+        for backend in backends {
+            let mut acc = base.clone();
+            gf256::mul_acc_with(backend, &mut acc[offset..], &src[offset..], c);
+            prop_assert_eq!(&acc, &acc_ref, "mul_acc diverged on {}", backend);
+            let mut scaled = base.clone();
+            gf256::scale_with(backend, &mut scaled[offset..], c);
+            prop_assert_eq!(&scaled, &scale_ref, "scale diverged on {}", backend);
+        }
     }
 }
