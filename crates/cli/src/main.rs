@@ -49,15 +49,33 @@
 //! rekey serve     [--addr 127.0.0.1:0] [--scheme tt] [--d 4] [--k 10]
 //!                 [--members 16] [--intervals 50] [--seed 42]
 //!                 [--key-seed 7] [--period-ms 200] [--net-workers 2]
-//!                 [--smoke]
+//!                 [--admin-addr 127.0.0.1:9100] [--smoke]
 //!     Run `rekeyd`, the threaded TCP key-distribution daemon:
 //!     bootstrap `--members` demo members (individual keys derived
 //!     from `--key-seed`), then publish one rekey epoch every
 //!     `--period-ms` and fan each epoch out to every connected
-//!     client. `--smoke` additionally runs every member as an
+//!     client. `--admin-addr` additionally serves the live admin
+//!     plane on a separate port: `/metrics` (Prometheus text),
+//!     `/healthz`, `/readyz`, `/vars` (JSON snapshot with quantiles),
+//!     and `/flightrec` (flight-recorder JSONL). SIGTERM/SIGINT (and
+//!     panics) trigger a graceful drain and dump the flight recorder
+//!     to stderr. `--smoke` additionally runs every member as an
 //!     in-process socket client against the daemon and verifies all
 //!     of them arrive at the group DEK with byte-identical wire
 //!     digests — the single-process loopback CI job.
+//!
+//! rekey top       --addr HOST:PORT [--period-ms 1000] [--iters 0]
+//!     Poll a running rekeyd's admin endpoint (`/vars`) and render a
+//!     refreshing operational table: sessions, epochs/sec, fan-out
+//!     and end-to-end propagation p50/p99, per-shard propagation,
+//!     queue depth. `--iters N` stops after N frames (0 = forever).
+//!
+//! rekey metrics-check (--addr HOST:PORT | --file out.prom)
+//!     Fetch `/metrics` from a live admin endpoint (or read a file)
+//!     and validate it as Prometheus text exposition with the crate's
+//!     own parser: metadata present, names in charset, histogram
+//!     buckets cumulative and +Inf-terminated. With `--addr` it also
+//!     probes `/healthz`.
 //!
 //! rekey client    --addr HOST:PORT [--member 0] [--key-seed 7]
 //!                 [--from 1] [--idle-ms 3000]
@@ -95,7 +113,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str =
-    "usage: rekey <model|simulate|recommend|transport|trace-check|fuzz|serve|client|simd> [--flag value ...]
+    "usage: rekey <model|simulate|recommend|transport|trace-check|fuzz|serve|client|top|metrics-check|simd> [--flag value ...]
 run `rekey help` or see the crate docs for the full flag list";
 
 fn main() -> ExitCode {
@@ -115,6 +133,8 @@ fn main() -> ExitCode {
         Some("fuzz") => cmd_fuzz(&args),
         Some("serve") => cmd_serve(&args),
         Some("client") => cmd_client(&args),
+        Some("top") => cmd_top(&args),
+        Some("metrics-check") => cmd_metrics_check(&args),
         Some("simd") => cmd_simd(),
         Some("help") | None => {
             println!("{USAGE}");
@@ -375,6 +395,49 @@ fn hex32(bytes: &[u8; 32]) -> String {
     bytes.iter().map(|b| format!("{b:02x}")).collect()
 }
 
+/// SIGTERM/SIGINT latch for `rekey serve`. The handler only flips an
+/// atomic; the serve loop polls it between publishes and runs the
+/// graceful drain (and flight-recorder dump) itself.
+#[cfg(unix)]
+mod term_signal {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        // SAFETY: registers an async-signal-safe handler (one relaxed
+        // atomic store, no allocation, no locks) for two standard
+        // termination signals.
+        unsafe {
+            signal(SIGTERM, on_signal as *const () as usize);
+            signal(SIGINT, on_signal as *const () as usize);
+        }
+    }
+
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod term_signal {
+    pub fn install() {}
+
+    pub fn requested() -> bool {
+        false
+    }
+}
+
 fn cmd_serve(args: &Args) -> CliResult {
     let addr = args.get_or("addr", "127.0.0.1:0");
     let scheme: Scheme = args.get_or("scheme", "tt").parse()?;
@@ -387,19 +450,46 @@ fn cmd_serve(args: &Args) -> CliResult {
     let smoke: bool = args.get_bool_or("smoke", false)?;
     let period_ms: u64 = args.get_parsed_or("period-ms", if smoke { 2 } else { 200u64 })?;
     let net_workers: usize = args.get_parsed_or("net-workers", 2usize)?;
+    let admin_addr = match path_flag(args, "admin-addr")? {
+        Some(spec) => Some(spec.parse::<std::net::SocketAddr>()?),
+        None => None,
+    };
 
+    // The daemon records into this collector directly; installing it
+    // globally as well merges the in-process smoke clients' and
+    // engine's probes into the same admin-visible registry.
     let collector = std::sync::Arc::new(rekey_obs::Collector::new());
     rekey_obs::install(collector.clone());
 
     let config = ServerConfig {
         workers: net_workers,
+        admin_addr,
         ..ServerConfig::default()
     };
-    let daemon = Rekeyd::bind(addr.as_str(), config)?;
+    let daemon = Rekeyd::bind_with(addr.as_str(), config, collector.clone())?;
     println!(
         "rekeyd: listening on {} — scheme {scheme}, {members} members, {intervals} intervals",
         daemon.local_addr()
     );
+    if let Some(admin) = daemon.admin_addr() {
+        println!(
+            "rekeyd: admin plane on http://{admin} (/metrics /healthz /readyz /vars /flightrec)"
+        );
+    }
+
+    // On SIGTERM/SIGINT the loop below drains gracefully; on panic the
+    // hook dumps the flight recorder before the process dies.
+    term_signal::install();
+    let flight = daemon.flight();
+    {
+        let flight = flight.clone();
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            eprintln!("rekeyd: panic — flight recorder follows");
+            eprint!("{}", flight.dump_jsonl());
+            previous(info);
+        }));
+    }
 
     let mut manager = scheme.build(&SchemeConfig::new().degree(degree).s_period(k));
     let member_keys: Vec<(MemberId, Key)> = (0..members)
@@ -433,7 +523,15 @@ fn cmd_serve(args: &Args) -> CliResult {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut digest = Sha256::new();
     let mut total_entries = 0usize;
+    let mut published = 0u64;
     for interval in 0..intervals {
+        if term_signal::requested() {
+            println!("rekeyd: termination signal after {published} epochs — draining");
+            daemon.begin_shutdown();
+            eprintln!("rekeyd: flight recorder follows");
+            eprint!("{}", flight.dump_jsonl());
+            break;
+        }
         let joins: Vec<Join> = if interval == 0 {
             member_keys
                 .iter()
@@ -459,13 +557,14 @@ fn cmd_serve(args: &Args) -> CliResult {
         }
         digest.update(&codec::encode_message(&outcome.message));
         total_entries += outcome.message.encrypted_key_count();
+        published += 1;
         if period_ms > 0 {
             std::thread::sleep(Duration::from_millis(period_ms));
         }
     }
     let server_digest = digest.finalize();
     println!(
-        "rekeyd: published {intervals} epochs ({total_entries} encrypted keys), digest {}",
+        "rekeyd: published {published} epochs ({total_entries} encrypted keys), digest {}",
         hex32(&server_digest)
     );
 
@@ -556,6 +655,156 @@ fn cmd_client(args: &Args) -> CliResult {
         client.reconnects(),
         client.member().key_count(),
         hex32(&client.digest())
+    );
+    Ok(())
+}
+
+/// Human-friendly nanoseconds: `850ns`, `12.5µs`, `3.20ms`, `1.75s`.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.0}ns")
+    } else if ns < 1e6 {
+        format!("{:.1}µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.2}s", ns / 1e9)
+    }
+}
+
+fn admin_addr_flag(args: &Args) -> Result<std::net::SocketAddr, Box<dyn std::error::Error>> {
+    let addr = args
+        .get("addr")
+        .filter(|a| !a.is_empty())
+        .ok_or("requires --addr host:port (the rekeyd admin address)")?;
+    Ok(addr.parse()?)
+}
+
+/// One `/vars` snapshot reduced to what `top` renders.
+struct TopFrame {
+    live: bool,
+    sessions: f64,
+    epochs: f64,
+    queue_depth: f64,
+    /// (name, count, p50_ns, p99_ns) per histogram of interest.
+    hists: Vec<(String, f64, f64, f64)>,
+}
+
+fn fetch_top_frame(addr: std::net::SocketAddr) -> Result<TopFrame, Box<dyn std::error::Error>> {
+    let response = rekey_obs::admin::http_get(addr, "/vars", Duration::from_secs(2))?;
+    if response.status != 200 {
+        return Err(format!("/vars returned HTTP {}", response.status).into());
+    }
+    let doc = rekey_obs::json::parse(&response.body)?;
+    let num = |v: Option<&rekey_obs::json::Value>| v.and_then(|v| v.as_num()).unwrap_or(0.0);
+    let counters = doc.get("counters");
+    let gauges = doc.get("gauges");
+    let mut hists = Vec::new();
+    if let Some(rekey_obs::json::Value::Obj(map)) = doc.get("hists") {
+        for (name, hist) in map {
+            if name == "net.fanout" || name.starts_with("net.propagation") {
+                hists.push((
+                    name.clone(),
+                    num(hist.get("count")),
+                    num(hist.get("p50_ns")),
+                    num(hist.get("p99_ns")),
+                ));
+            }
+        }
+    }
+    Ok(TopFrame {
+        live: doc.get("live") == Some(&rekey_obs::json::Value::Bool(true)),
+        sessions: num(gauges.and_then(|g| g.get("net.sessions.live"))),
+        epochs: num(counters.and_then(|c| c.get("net.epochs_published"))),
+        queue_depth: num(gauges.and_then(|g| g.get("net.queue.depth"))),
+        hists,
+    })
+}
+
+fn cmd_top(args: &Args) -> CliResult {
+    let addr = admin_addr_flag(args)?;
+    let period_ms: u64 = args.get_parsed_or("period-ms", 1000u64)?;
+    let iters: u64 = args.get_parsed_or("iters", 0u64)?;
+
+    let mut previous: Option<(std::time::Instant, f64)> = None;
+    let mut frame_no = 0u64;
+    loop {
+        let frame = fetch_top_frame(addr)?;
+        let now = std::time::Instant::now();
+        let rate = match previous {
+            Some((t, epochs)) => {
+                let dt = now.duration_since(t).as_secs_f64();
+                if dt > 0.0 {
+                    (frame.epochs - epochs) / dt
+                } else {
+                    0.0
+                }
+            }
+            None => 0.0,
+        };
+        previous = Some((now, frame.epochs));
+
+        if frame_no > 0 {
+            // Repaint in place: clear screen, home cursor.
+            print!("\x1b[2J\x1b[H");
+        }
+        println!(
+            "rekey top — {addr}  [{}]",
+            if frame.live { "healthy" } else { "DRAINING" }
+        );
+        println!(
+            "sessions {:>6}   epochs {:>8}   epochs/sec {:>8.2}   queue depth {:>5}",
+            frame.sessions, frame.epochs, rate, frame.queue_depth
+        );
+        println!(
+            "{:<28} {:>10} {:>10} {:>10}",
+            "latency", "count", "p50", "p99"
+        );
+        for (name, count, p50, p99) in &frame.hists {
+            println!(
+                "{name:<28} {count:>10} {:>10} {:>10}",
+                fmt_ns(*p50),
+                fmt_ns(*p99)
+            );
+        }
+        if frame.hists.is_empty() {
+            println!("(no latency histograms yet — waiting for traffic)");
+        }
+
+        frame_no += 1;
+        if iters > 0 && frame_no >= iters {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(period_ms.max(50)));
+    }
+}
+
+fn cmd_metrics_check(args: &Args) -> CliResult {
+    let file = path_flag(args, "file")?;
+    let (source, text) = match file {
+        Some(path) => (path.clone(), std::fs::read_to_string(&path)?),
+        None => {
+            let addr = admin_addr_flag(args)?;
+            let health = rekey_obs::admin::http_get(addr, "/healthz", Duration::from_secs(2))?;
+            println!(
+                "{addr} /healthz: HTTP {} ({})",
+                health.status,
+                health.body.trim()
+            );
+            let response = rekey_obs::admin::http_get(addr, "/metrics", Duration::from_secs(2))?;
+            if response.status != 200 {
+                return Err(format!("/metrics returned HTTP {}", response.status).into());
+            }
+            (format!("{addr}/metrics"), response.body)
+        }
+    };
+    let summary = rekey_obs::prom::validate(&text)?;
+    println!(
+        "{source}: valid Prometheus exposition — {} samples, {} counters, {} gauges, {} histograms",
+        summary.samples,
+        summary.counters.len(),
+        summary.gauges.len(),
+        summary.histograms.len()
     );
     Ok(())
 }

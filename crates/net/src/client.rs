@@ -14,6 +14,14 @@
 //! maintains a SHA-256 digest over the codec bytes of every applied
 //! epoch, so tests can compare a socket-fed member byte-for-byte
 //! against an in-process delivery path.
+//!
+//! Every `Rekey` frame carries the server's fan-out wall-clock stamp;
+//! at DEK-install time the client measures the end-to-end propagation
+//! lag, records it under `net.client.propagation_ns`, and reports it
+//! back to the server with a best-effort `Ack`. Connection-health
+//! counters (`net.client.connect_attempts`, `.backoff_sleeps`,
+//! `.handshake_retries`, `.replayed_frames`, …) go to the global
+//! recorder when one is installed.
 
 use crate::backoff::{Backoff, BackoffConfig};
 use crate::error::NetError;
@@ -24,7 +32,7 @@ use rekey_crypto::Key;
 use rekey_keytree::member::GroupMember;
 use rekey_keytree::message::codec;
 use rekey_keytree::MemberId;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::thread;
@@ -69,8 +77,11 @@ pub struct RekeyClient {
     backoff: Backoff,
     /// Next epoch to apply (everything below is done).
     next_epoch: u64,
-    /// Out-of-order arrivals: epoch → codec bytes.
-    pending: BTreeMap<u64, Vec<u8>>,
+    /// Out-of-order arrivals: epoch → (fan-out stamp, codec bytes).
+    pending: BTreeMap<u64, (u64, Vec<u8>)>,
+    /// Epochs we have NACKed and not yet seen arrive, to count
+    /// retransmission-window replays distinctly from live fan-out.
+    nacked: BTreeSet<u64>,
     digest: Sha256,
     applied: u64,
     reconnects: u64,
@@ -105,6 +116,7 @@ impl RekeyClient {
             backoff,
             next_epoch: start_epoch.max(1),
             pending: BTreeMap::new(),
+            nacked: BTreeSet::new(),
             digest: Sha256::new(),
             applied: 0,
             reconnects: 0,
@@ -176,11 +188,13 @@ impl RekeyClient {
                     return Err(NetError::Rejected(reason));
                 }
                 Err(e) => {
+                    rekey_obs::count("net.client.handshake_retries", 1);
                     let now = Instant::now();
                     if now >= deadline {
                         return Err(e);
                     }
                     let delay = self.backoff.next_delay().min(deadline - now);
+                    rekey_obs::count("net.client.backoff_sleeps", 1);
                     thread::sleep(delay);
                 }
             }
@@ -188,6 +202,7 @@ impl RekeyClient {
     }
 
     fn connect_once(&mut self) -> Result<(), NetError> {
+        rekey_obs::count("net.client.connect_attempts", 1);
         let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)?;
         stream.set_nodelay(true)?;
         let mut stream = stream;
@@ -258,6 +273,7 @@ impl RekeyClient {
             return Ok(());
         }
         rekey_obs::count("net.client.nacks", 1);
+        self.nacked.extend(epochs.iter().copied());
         let nack = encode_frame(
             &proto::encode(&Frame::Nack { epochs }),
             self.config.max_frame,
@@ -352,7 +368,10 @@ impl RekeyClient {
                 return Ok(applied);
             };
             match proto::decode(&payload)? {
-                Frame::Rekey { payload } => applied += self.on_rekey(payload)?,
+                Frame::Rekey {
+                    stamp_unix_ns,
+                    payload,
+                } => applied += self.on_rekey(stamp_unix_ns, payload)?,
                 Frame::Gap { oldest, requested } => {
                     if requested >= self.next_epoch {
                         return Err(NetError::EpochEvicted { requested, oldest });
@@ -374,29 +393,54 @@ impl RekeyClient {
     }
 
     /// Ingests one epoch payload: apply in order, park out-of-order
-    /// arrivals and NACK the uncovered prefix.
-    fn on_rekey(&mut self, payload: Vec<u8>) -> Result<u64, NetError> {
+    /// arrivals and NACK the uncovered prefix. Applied epochs measure
+    /// and report end-to-end propagation against the fan-out stamp.
+    fn on_rekey(&mut self, stamp_unix_ns: u64, payload: Vec<u8>) -> Result<u64, NetError> {
         let message = codec::decode_message(&payload).ok_or(NetError::Codec { epoch: None })?;
         let epoch = message.epoch;
         self.server_latest = self.server_latest.max(epoch);
+        if self.nacked.remove(&epoch) {
+            rekey_obs::count("net.client.replayed_frames", 1);
+        }
         if epoch < self.next_epoch {
             return Ok(0); // duplicate (e.g. double-NACKed)
         }
-        self.pending.insert(epoch, payload);
+        self.pending.insert(epoch, (stamp_unix_ns, payload));
 
         let mut applied = 0u64;
-        while let Some(bytes) = self.pending.remove(&self.next_epoch) {
+        while let Some((stamp, bytes)) = self.pending.remove(&self.next_epoch) {
             let message = codec::decode_message(&bytes).ok_or(NetError::Codec { epoch: None })?;
             self.member.process(&message)?;
             self.digest.update(&bytes);
+            let installed_epoch = self.next_epoch;
             self.applied += 1;
             self.next_epoch += 1;
             applied += 1;
+            self.report_propagation(installed_epoch, stamp);
         }
         if applied == 0 {
             // Still blocked on a hole below `epoch`: ask for it.
             self.nack_missing(epoch.saturating_sub(1))?;
         }
         Ok(applied)
+    }
+
+    /// The DEK for `epoch` is installed: measure the lag against the
+    /// server's fan-out stamp, record it locally, and report it back
+    /// with a best-effort `Ack` (an unsendable ack is dropped — the
+    /// measurement is observability, not protocol state).
+    fn report_propagation(&mut self, epoch: u64, stamp_unix_ns: u64) {
+        if stamp_unix_ns == 0 {
+            return; // server clock was unusable at publish
+        }
+        let lag_ns = proto::unix_now_ns().saturating_sub(stamp_unix_ns);
+        rekey_obs::time_ns("net.client.propagation_ns", lag_ns);
+        let ack = proto::encode(&Frame::Ack { epoch, lag_ns });
+        if let (Some(conn), Ok(framed)) = (
+            self.conn.as_mut(),
+            encode_frame(&ack, self.config.max_frame),
+        ) {
+            let _ = conn.stream.write_all(&framed);
+        }
     }
 }

@@ -18,15 +18,27 @@
 //! - [`frame`] — `u32` length-prefixed framing with a strict size
 //!   limit and an incremental [`frame::FrameReader`].
 //! - [`proto`] — the typed session frames (`ServerHello`/`Hello`/
-//!   `Welcome`/`Reject`/`Rekey`/`Nack`/`Gap`/`Bye`).
+//!   `Welcome`/`Reject`/`Rekey`/`Nack`/`Gap`/`Bye`/`Ack`). Protocol
+//!   v2: `Rekey` carries the publish wall-clock stamp and clients
+//!   answer with `Ack{epoch, lag_ns}` after installing the DEK.
 //! - [`backoff`] — the reconnect schedule.
 //! - [`NetError`] — one typed error for the whole layer; no
 //!   stringly-typed results.
 //!
-//! Everything is instrumented with `rekey-obs` (`net.accept`,
-//! `net.session.handshake`, `net.fanout` spans; byte/session counters;
-//! queue-depth gauges), so a daemon run can be profiled with the same
-//! tooling as the key server itself.
+//! # Observability
+//!
+//! The daemon owns a live [`rekey_obs::Collector`] and a lock-free
+//! [`rekey_obs::FlightRecorder`]; with [`ServerConfig::admin_addr`]
+//! set it also serves an admin plane (`/metrics`, `/healthz`,
+//! `/readyz`, `/vars`, `/flightrec`). Server-side metrics include
+//! `net.fanout` / `net.session.handshake` timings, byte and session
+//! counters, queue-depth gauges, and the end-to-end
+//! `net.propagation` histogram (publish stamp → client DEK install,
+//! reported back in `Ack` frames, also split per shard as
+//! `net.propagation.shardN`). The client feeds the global recorder:
+//! `net.client.connect_attempts`, `net.client.handshake_retries`,
+//! `net.client.backoff_sleeps`, `net.client.replayed_frames`, and the
+//! `net.client.propagation_ns` histogram.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

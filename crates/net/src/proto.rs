@@ -13,10 +13,14 @@
 //!
 //! After the handshake the server pushes `Rekey` frames (one per
 //! epoch, payload = the `rekey_keytree::message::codec` message
-//! encoding), the client may `Nack` missed epochs at any time, and the
-//! server answers NACKs either with the retransmitted `Rekey` frames
-//! or a `Gap` when the epoch has left its retransmission window.
-//! `Bye` closes either direction gracefully.
+//! encoding, prefixed by the server's publish wall-clock stamp), the
+//! client may `Nack` missed epochs at any time, and the server answers
+//! NACKs either with the retransmitted `Rekey` frames or a `Gap` when
+//! the epoch has left its retransmission window. After installing an
+//! epoch's DEK the client reports the measured end-to-end propagation
+//! lag with an `Ack` — the server folds those into its
+//! `net_propagation_seconds` histogram. `Bye` closes either direction
+//! gracefully.
 //!
 //! Every frame leads with a one-byte type tag; the two handshake
 //! frames additionally carry [`PROTO_VERSION`] so incompatible
@@ -29,7 +33,8 @@ use rekey_crypto::Key;
 use rekey_keytree::MemberId;
 
 /// Protocol version spoken by this build. Bumped on any wire change.
-pub const PROTO_VERSION: u8 = 1;
+/// v2: `Rekey` gained the publish wall-clock stamp, `Ack` was added.
+pub const PROTO_VERSION: u8 = 2;
 
 /// Server nonce length (the HMAC challenge).
 pub const NONCE_LEN: usize = 32;
@@ -49,6 +54,7 @@ const T_REKEY: u8 = 5;
 const T_NACK: u8 = 6;
 const T_GAP: u8 = 7;
 const T_BYE: u8 = 8;
+const T_ACK: u8 = 9;
 
 /// One protocol frame (the payload of one length-prefixed wire frame).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,6 +84,11 @@ pub enum Frame {
     /// One epoch's multicast rekey message, encoded with
     /// `rekey_keytree::message::codec::encode_message`.
     Rekey {
+        /// Server wall clock at fan-out (UNIX nanoseconds), stamped
+        /// once into the shared frame so clients can measure true
+        /// end-to-end rekey propagation. 0 when unknown (e.g. a clock
+        /// before the epoch).
+        stamp_unix_ns: u64,
         /// The codec bytes, decoded lazily by the receiver.
         payload: Vec<u8>,
     },
@@ -94,8 +105,27 @@ pub enum Frame {
         /// The evicted epoch the client asked for.
         requested: u64,
     },
+    /// Client report after installing an epoch's DEK: the measured
+    /// propagation lag from the server's fan-out stamp to DEK install.
+    /// Purely observational — the server records it and never replies.
+    Ack {
+        /// The installed epoch.
+        epoch: u64,
+        /// Measured install-minus-publish lag in nanoseconds (clamped
+        /// to 0 on clock skew).
+        lag_ns: u64,
+    },
     /// Graceful close.
     Bye,
+}
+
+/// Current wall clock as UNIX nanoseconds (0 if the clock reads before
+/// the epoch), the timebase of [`Frame::Rekey::stamp_unix_ns`].
+pub fn unix_now_ns() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
 }
 
 /// Domain-separation context for the handshake HMAC.
@@ -137,9 +167,13 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
             buf
         }
         Frame::Reject { reason } => vec![T_REJECT, reason.code()],
-        Frame::Rekey { payload } => {
-            let mut buf = Vec::with_capacity(1 + payload.len());
+        Frame::Rekey {
+            stamp_unix_ns,
+            payload,
+        } => {
+            let mut buf = Vec::with_capacity(1 + 8 + payload.len());
             buf.push(T_REKEY);
+            buf.extend_from_slice(&stamp_unix_ns.to_be_bytes());
             buf.extend_from_slice(payload);
             buf
         }
@@ -158,6 +192,13 @@ pub fn encode(frame: &Frame) -> Vec<u8> {
             buf.push(T_GAP);
             buf.extend_from_slice(&oldest.to_be_bytes());
             buf.extend_from_slice(&requested.to_be_bytes());
+            buf
+        }
+        Frame::Ack { epoch, lag_ns } => {
+            let mut buf = Vec::with_capacity(1 + 16);
+            buf.push(T_ACK);
+            buf.extend_from_slice(&epoch.to_be_bytes());
+            buf.extend_from_slice(&lag_ns.to_be_bytes());
             buf
         }
         Frame::Bye => vec![T_BYE],
@@ -228,12 +269,16 @@ pub fn decode(payload: &[u8]) -> Result<Frame, NetError> {
             Frame::Reject { reason }
         }
         T_REKEY => {
+            let stamp_unix_ns = take_u64(&mut rest).ok_or(malformed("rekey truncated"))?;
             if rest.is_empty() {
                 return Err(malformed("rekey frame with no payload"));
             }
             let payload = rest.to_vec();
             rest = &[];
-            Frame::Rekey { payload }
+            Frame::Rekey {
+                stamp_unix_ns,
+                payload,
+            }
         }
         T_NACK => {
             let (head, mut body) = rest
@@ -254,6 +299,11 @@ pub fn decode(payload: &[u8]) -> Result<Frame, NetError> {
             let oldest = take_u64(&mut rest).ok_or(malformed("gap truncated"))?;
             let requested = take_u64(&mut rest).ok_or(malformed("gap truncated"))?;
             Frame::Gap { oldest, requested }
+        }
+        T_ACK => {
+            let epoch = take_u64(&mut rest).ok_or(malformed("ack truncated"))?;
+            let lag_ns = take_u64(&mut rest).ok_or(malformed("ack truncated"))?;
+            Frame::Ack { epoch, lag_ns }
         }
         T_BYE => Frame::Bye,
         other => return Err(NetError::UnknownFrame(other)),
@@ -284,7 +334,12 @@ mod tests {
             reason: RejectReason::BadAuth,
         });
         roundtrip(Frame::Rekey {
+            stamp_unix_ns: 1_700_000_000_000_000_000,
             payload: vec![1, 2, 3],
+        });
+        roundtrip(Frame::Ack {
+            epoch: 17,
+            lag_ns: 250_000,
         });
         roundtrip(Frame::Nack {
             epochs: vec![3, 4, 9],

@@ -25,6 +25,19 @@
 //! missed out of the retransmission window of the last `window` epochs
 //! (also served to late joiners and reconnecting clients; an evicted
 //! epoch answers with a `Gap` frame).
+//!
+//! # Observability
+//!
+//! The daemon owns an [`rekey_obs::Collector`] and a lock-free
+//! [`FlightRecorder`] and records into both directly — no reliance on
+//! the process-global recorder, so `/metrics` is live even when global
+//! tracing is off. With [`ServerConfig::admin_addr`] set, an admin
+//! HTTP plane ([`rekey_obs::admin`]) serves `/metrics`, `/healthz`,
+//! `/readyz`, `/vars`, and `/flightrec` on a separate port. True
+//! end-to-end rekey latency comes from the wire: `publish` stamps the
+//! fan-out wall clock into each `Rekey` frame, clients measure the lag
+//! at DEK install and report it back with an `Ack`, and the daemon
+//! folds those into `net.propagation` (aggregate and per shard).
 
 use crate::error::{NetError, RejectReason};
 use crate::frame::{self, encode_frame, FrameReader};
@@ -33,7 +46,8 @@ use rekey_crypto::sha256::Sha256;
 use rekey_crypto::Key;
 use rekey_keytree::message::{codec, RekeyMessage};
 use rekey_keytree::MemberId;
-use rekey_obs::span;
+use rekey_obs::admin::{AdminServer, AdminState};
+use rekey_obs::{Collector, FlightKind, FlightRecorder, HealthFlags, Recorder};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -59,6 +73,12 @@ pub struct ServerConfig {
     pub handshake_timeout: Duration,
     /// Graceful-shutdown budget for flushing session queues.
     pub drain_timeout: Duration,
+    /// Where to serve the admin HTTP plane (`/metrics`, `/healthz`,
+    /// `/readyz`, `/vars`, `/flightrec`). `None` disables it; metrics
+    /// and the flight recorder are still collected either way.
+    pub admin_addr: Option<SocketAddr>,
+    /// Flight-recorder ring capacity, in events (40 bytes each).
+    pub flight_events: usize,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +90,8 @@ impl Default for ServerConfig {
             window: 128,
             handshake_timeout: Duration::from_secs(2),
             drain_timeout: Duration::from_secs(1),
+            admin_addr: None,
+            flight_events: 4096,
         }
     }
 }
@@ -109,6 +131,22 @@ struct Shared {
     shutdown: AtomicBool,
     sessions: AtomicUsize,
     nonce_counter: AtomicU64,
+    metrics: Arc<Collector>,
+    flight: Arc<FlightRecorder>,
+    health: Arc<HealthFlags>,
+    /// Per-shard propagation histogram names (`net.propagation.shardN`),
+    /// leaked once per daemon because the recorder keys on
+    /// `&'static str`. Bounded by the worker count.
+    shard_prop_names: Vec<&'static str>,
+}
+
+impl Shared {
+    /// Publishes the live session count as a gauge after a change.
+    fn sample_sessions(&self) {
+        let live = self.sessions.load(Ordering::SeqCst);
+        self.metrics
+            .sample("net.sessions.live", rekey_obs::now_ns(), live as f64);
+    }
 }
 
 /// An in-flight (possibly partially written) outbound frame.
@@ -128,12 +166,17 @@ struct Session {
 
 impl Session {
     /// Enqueues a pre-framed buffer, applying the backpressure bound.
-    fn enqueue(&mut self, bytes: Arc<[u8]>, cap: usize) {
+    fn enqueue(&mut self, bytes: Arc<[u8]>, shared: &Shared, cap: usize) {
         if self.dead {
             return;
         }
         if self.queue.len() >= cap {
-            rekey_obs::count("net.sessions.dropped_backpressure", 1);
+            shared.metrics.count("net.sessions.dropped_backpressure", 1);
+            shared.flight.record(
+                FlightKind::BackpressureDrop,
+                self.member.0,
+                self.queue.len() as u64,
+            );
             self.dead = true;
             return;
         }
@@ -141,7 +184,7 @@ impl Session {
     }
 
     /// Writes as much queued data as the socket accepts right now.
-    fn pump_write(&mut self) {
+    fn pump_write(&mut self, shared: &Shared) {
         while let Some(front) = self.queue.front_mut() {
             match self.stream.write(&front.bytes[front.offset..]) {
                 Ok(0) => {
@@ -149,7 +192,7 @@ impl Session {
                     return;
                 }
                 Ok(n) => {
-                    rekey_obs::count("net.bytes_out", n as u64);
+                    shared.metrics.count("net.bytes_out", n as u64);
                     front.offset += n;
                     if front.offset == front.bytes.len() {
                         self.queue.pop_front();
@@ -164,7 +207,8 @@ impl Session {
         }
     }
 
-    /// Drains readable bytes and reacts to client frames (NACKs, Bye).
+    /// Drains readable bytes and reacts to client frames (NACKs,
+    /// propagation ACKs, Bye).
     fn pump_read(&mut self, shared: &Shared, cap: usize) {
         let mut chunk = [0u8; 4096];
         loop {
@@ -174,7 +218,7 @@ impl Session {
                     return;
                 }
                 Ok(n) => {
-                    rekey_obs::count("net.bytes_in", n as u64);
+                    shared.metrics.count("net.bytes_in", n as u64);
                     self.reader.push(&chunk[..n]);
                 }
                 Err(e) if frame::retryable(&e) => break,
@@ -209,27 +253,49 @@ impl Session {
     ) -> Result<(), NetError> {
         match proto::decode(payload)? {
             Frame::Nack { epochs } => {
+                shared.metrics.count("net.nacks", 1);
+                shared
+                    .flight
+                    .record(FlightKind::Nack, self.member.0, epochs.len() as u64);
                 let window = shared.window.read().expect("window lock");
                 for epoch in epochs {
                     match window.get(epoch) {
                         Some(framed) => {
-                            rekey_obs::count("net.retransmit.frames", 1);
-                            self.enqueue(framed, cap);
+                            shared.metrics.count("net.retransmit.frames", 1);
+                            shared
+                                .flight
+                                .record(FlightKind::Retransmit, self.member.0, epoch);
+                            self.enqueue(framed, shared, cap);
                         }
                         None if epoch > window.latest => {
                             // Future epoch: nothing to do yet; the live
                             // fan-out will deliver it.
                         }
                         None => {
+                            shared.metrics.count("net.retransmit.gaps", 1);
+                            shared.flight.record(FlightKind::Gap, self.member.0, epoch);
                             let gap = proto::encode(&Frame::Gap {
                                 oldest: window.oldest(),
                                 requested: epoch,
                             });
                             let framed: Arc<[u8]> = encode_frame(&gap, usize::MAX)?.into();
-                            self.enqueue(framed, cap);
+                            self.enqueue(framed, shared, cap);
                         }
                     }
                 }
+                Ok(())
+            }
+            Frame::Ack { epoch, lag_ns } => {
+                // End-to-end propagation as measured by the client:
+                // fan-out stamp to DEK install. Aggregate + per shard.
+                shared.metrics.count("net.acks", 1);
+                shared.metrics.time("net.propagation", lag_ns);
+                let shards = shared.shard_prop_names.len() as u64;
+                let shard = (self.member.0 % shards) as usize;
+                shared.metrics.time(shared.shard_prop_names[shard], lag_ns);
+                shared
+                    .flight
+                    .record(FlightKind::PropagationAck, epoch, lag_ns);
                 Ok(())
             }
             Frame::Bye => {
@@ -258,21 +324,44 @@ pub struct Rekeyd {
     shards: Vec<Sender<ShardCmd>>,
     threads: Vec<JoinHandle<()>>,
     addr: SocketAddr,
+    admin: Option<AdminServer>,
     stopped: bool,
 }
 
 impl Rekeyd {
     /// Binds the listener, spawns the accept thread and `workers`
-    /// shard threads, and starts admitting sessions.
+    /// shard threads, and starts admitting sessions. The daemon
+    /// records into a fresh [`Collector`]; use [`Rekeyd::bind_with`]
+    /// to share one with other instrumentation.
     ///
     /// # Errors
     ///
     /// Propagates socket errors from binding.
     pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> Result<Rekeyd, NetError> {
+        Rekeyd::bind_with(addr, config, Arc::new(Collector::new()))
+    }
+
+    /// [`Rekeyd::bind`] recording into a caller-supplied collector —
+    /// the admin plane then exposes the caller's counters alongside
+    /// the daemon's own.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding the listener or the
+    /// admin port.
+    pub fn bind_with<A: ToSocketAddrs>(
+        addr: A,
+        config: ServerConfig,
+        metrics: Arc<Collector>,
+    ) -> Result<Rekeyd, NetError> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
+        let workers = config.workers.max(1);
+        let shard_prop_names = (0..workers)
+            .map(|i| &*Box::leak(format!("net.propagation.shard{i}").into_boxed_str()))
+            .collect();
         let shared = Arc::new(Shared {
             registry: Mutex::new(HashMap::new()),
             window: RwLock::new(Window {
@@ -283,9 +372,27 @@ impl Rekeyd {
             shutdown: AtomicBool::new(false),
             sessions: AtomicUsize::new(0),
             nonce_counter: AtomicU64::new(0),
+            metrics,
+            flight: Arc::new(FlightRecorder::new(config.flight_events)),
+            health: HealthFlags::up(),
+            shard_prop_names,
         });
 
-        let workers = config.workers.max(1);
+        let admin = match config.admin_addr {
+            Some(admin_addr) => Some(
+                AdminServer::bind(
+                    admin_addr,
+                    AdminState {
+                        collector: shared.metrics.clone(),
+                        flight: Some(shared.flight.clone()),
+                        health: shared.health.clone(),
+                    },
+                )
+                .map_err(NetError::Io)?,
+            ),
+            None => None,
+        };
+
         let mut shards = Vec::with_capacity(workers);
         let mut threads = Vec::with_capacity(workers + 1);
         for index in 0..workers {
@@ -316,6 +423,7 @@ impl Rekeyd {
             shards,
             threads,
             addr,
+            admin,
             stopped: false,
         })
     }
@@ -323,6 +431,21 @@ impl Rekeyd {
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound admin-plane address, when one was configured.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin.as_ref().map(AdminServer::local_addr)
+    }
+
+    /// The collector the daemon records into.
+    pub fn collector(&self) -> Arc<Collector> {
+        self.shared.metrics.clone()
+    }
+
+    /// The daemon's flight recorder (for dumps on signal/panic).
+    pub fn flight(&self) -> Arc<FlightRecorder> {
+        self.shared.flight.clone()
     }
 
     /// Registers a member's individual key; only registered members
@@ -354,15 +477,24 @@ impl Rekeyd {
     /// [`NetError::Closed`] if the daemon has shut down, and framing
     /// errors if the encoded message exceeds the frame limit.
     pub fn publish(&self, message: &RekeyMessage) -> Result<(), NetError> {
-        let _span = span!("net.fanout");
+        let started = Instant::now();
         if self.shared.shutdown.load(Ordering::SeqCst) {
             return Err(NetError::Closed);
         }
+        // The wall-clock stamp rides in the shared frame: every client
+        // measures install-time lag against the same fan-out instant.
         let payload = proto::encode(&Frame::Rekey {
+            stamp_unix_ns: proto::unix_now_ns(),
             payload: codec::encode_message(message),
         });
         let framed: Arc<[u8]> = encode_frame(&payload, frame::DEFAULT_MAX_FRAME)?.into();
-        rekey_obs::count("net.fanout.bytes", framed.len() as u64);
+        self.shared
+            .metrics
+            .count("net.fanout.bytes", framed.len() as u64);
+        self.shared.metrics.count("net.epochs_published", 1);
+        self.shared
+            .flight
+            .record(FlightKind::EpochPublish, message.epoch, framed.len() as u64);
         self.shared
             .window
             .write()
@@ -373,6 +505,9 @@ impl Rekeyd {
                 .send(ShardCmd::Publish(framed.clone()))
                 .map_err(|_| NetError::Closed)?;
         }
+        self.shared
+            .metrics
+            .time("net.fanout", started.elapsed().as_nanos() as u64);
         Ok(())
     }
 
@@ -386,8 +521,20 @@ impl Rekeyd {
         self.shared.sessions.load(Ordering::SeqCst)
     }
 
+    /// Starts the drain without tearing anything down yet: new
+    /// handshakes are refused, `/healthz` and `/readyz` flip to 503,
+    /// and [`Rekeyd::publish`] returns [`NetError::Closed`] — but
+    /// existing sessions, the admin plane, and all threads stay up so
+    /// operators (and the integration tests) can watch the drain.
+    /// Follow with [`Rekeyd::shutdown`] to finish.
+    pub fn begin_shutdown(&self) {
+        self.shared.health.begin_drain();
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
     /// Graceful shutdown: stop accepting, drain session queues (each
-    /// session gets a `Bye`), join all threads.
+    /// session gets a `Bye`), join all threads. The admin plane is
+    /// stopped last so `/metrics` stays scrapeable through the drain.
     ///
     /// # Errors
     ///
@@ -401,7 +548,7 @@ impl Rekeyd {
             return Ok(());
         }
         self.stopped = true;
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.begin_shutdown();
         for shard in &self.shards {
             // A dead shard already stopped; that is shutdown enough.
             let _ = shard.send(ShardCmd::Shutdown);
@@ -409,6 +556,9 @@ impl Rekeyd {
         let mut panicked = false;
         for handle in self.threads.drain(..) {
             panicked |= handle.join().is_err();
+        }
+        if let Some(admin) = self.admin.take() {
+            admin.shutdown();
         }
         if panicked {
             Err(NetError::Closed)
@@ -435,21 +585,36 @@ fn accept_main(
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let _span = span!("net.accept");
+                let started = Instant::now();
                 match handshake(stream, &shared, &config) {
                     Ok(session) => {
                         let shard = (session.member.0 % shards.len() as u64) as usize;
                         shared.sessions.fetch_add(1, Ordering::SeqCst);
-                        rekey_obs::count("net.sessions.opened", 1);
+                        shared.metrics.count("net.sessions.opened", 1);
+                        shared
+                            .flight
+                            .record(FlightKind::Accept, session.member.0, 0);
+                        shared.sample_sessions();
                         if shards[shard]
                             .send(ShardCmd::Adopt(Box::new(session)))
                             .is_err()
                         {
                             shared.sessions.fetch_sub(1, Ordering::SeqCst);
+                            shared.sample_sessions();
                         }
                     }
-                    Err(_) => rekey_obs::count("net.sessions.rejected", 1),
+                    Err(e) => {
+                        shared.metrics.count("net.sessions.rejected", 1);
+                        let reason = match e {
+                            NetError::Rejected(reason) => u64::from(reason.code()),
+                            _ => 0,
+                        };
+                        shared.flight.record(FlightKind::HandshakeFail, reason, 0);
+                    }
                 }
+                shared
+                    .metrics
+                    .time("net.accept", started.elapsed().as_nanos() as u64);
             }
             Err(e) if frame::retryable(&e) => thread::sleep(Duration::from_millis(2)),
             Err(_) => thread::sleep(Duration::from_millis(10)),
@@ -465,8 +630,8 @@ fn handshake(
     shared: &Shared,
     config: &ServerConfig,
 ) -> Result<Session, NetError> {
-    let _span = span!("net.session.handshake");
-    let deadline = Instant::now() + config.handshake_timeout;
+    let started = Instant::now();
+    let deadline = started + config.handshake_timeout;
     stream.set_nodelay(true)?;
     stream.set_write_timeout(Some(config.handshake_timeout))?;
 
@@ -515,6 +680,9 @@ fn handshake(
     let welcome = encode_frame(&proto::encode(&Frame::Welcome { latest_epoch }), usize::MAX)?;
     stream.write_all(&welcome)?;
     stream.set_nonblocking(true)?;
+    shared
+        .metrics
+        .time("net.session.handshake", started.elapsed().as_nanos() as u64);
 
     Ok(Session {
         member,
@@ -589,7 +757,7 @@ fn shard_main(rx: Receiver<ShardCmd>, shared: Arc<Shared>, config: ServerConfig)
                 ShardCmd::Adopt(session) => sessions.push(*session),
                 ShardCmd::Publish(framed) => {
                     for session in &mut sessions {
-                        session.enqueue(framed.clone(), cap);
+                        session.enqueue(framed.clone(), &shared, cap);
                         max_depth = max_depth.max(session.queue.len());
                     }
                 }
@@ -600,21 +768,31 @@ fn shard_main(rx: Receiver<ShardCmd>, shared: Arc<Shared>, config: ServerConfig)
             }
         }
         if max_depth > 0 {
-            rekey_obs::sample("net.queue.depth", max_depth as f64);
+            shared
+                .metrics
+                .sample("net.queue.depth", rekey_obs::now_ns(), max_depth as f64);
         }
 
         for session in &mut sessions {
-            session.pump_write();
+            session.pump_write(&shared);
             if !session.dead {
                 session.pump_read(&shared, cap);
             }
         }
         let before = sessions.len();
-        sessions.retain(|s| !s.dead);
+        sessions.retain(|s| {
+            if s.dead {
+                shared
+                    .flight
+                    .record(FlightKind::SessionClosed, s.member.0, 0);
+            }
+            !s.dead
+        });
         let removed = before - sessions.len();
         if removed > 0 {
             shared.sessions.fetch_sub(removed, Ordering::SeqCst);
-            rekey_obs::count("net.sessions.closed", removed as u64);
+            shared.metrics.count("net.sessions.closed", removed as u64);
+            shared.sample_sessions();
         }
     }
 }
@@ -638,7 +816,7 @@ fn drain(sessions: &mut Vec<Session>, shared: &Shared, budget: Duration) {
         let mut pending = false;
         for session in sessions.iter_mut() {
             if !session.dead && !session.queue.is_empty() {
-                session.pump_write();
+                session.pump_write(shared);
                 pending |= !session.dead && !session.queue.is_empty();
             }
         }
@@ -647,8 +825,14 @@ fn drain(sessions: &mut Vec<Session>, shared: &Shared, budget: Duration) {
         }
         thread::sleep(Duration::from_millis(1));
     }
+    for session in sessions.iter() {
+        shared
+            .flight
+            .record(FlightKind::SessionClosed, session.member.0, 0);
+    }
     let count = sessions.len();
     sessions.clear();
     shared.sessions.fetch_sub(count, Ordering::SeqCst);
-    rekey_obs::count("net.sessions.closed", count as u64);
+    shared.metrics.count("net.sessions.closed", count as u64);
+    shared.sample_sessions();
 }

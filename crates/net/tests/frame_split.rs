@@ -100,6 +100,7 @@ proptest! {
             .collect();
         let out = manager.process_interval(&batch, &[], &mut rng).unwrap();
         let payload = proto::encode(&Frame::Rekey {
+            stamp_unix_ns: 1_700_000_000_000_000_000,
             payload: codec::encode_message(&out.message),
         });
         let wire = encode_frame(&payload, DEFAULT_MAX_FRAME).unwrap();
@@ -108,7 +109,8 @@ proptest! {
         let frames = feed_in_chunks(&mut reader, &wire, &[1]);
         prop_assert_eq!(frames.len(), 1);
         match proto::decode(&frames[0]).unwrap() {
-            Frame::Rekey { payload } => {
+            Frame::Rekey { stamp_unix_ns, payload } => {
+                prop_assert_eq!(stamp_unix_ns, 1_700_000_000_000_000_000);
                 let decoded = codec::decode_message(&payload).expect("codec roundtrip");
                 prop_assert_eq!(decoded, out.message);
             }

@@ -1,0 +1,423 @@
+//! The live admin plane: a zero-dependency HTTP/1.0 responder serving
+//! metrics, health, a JSON variable snapshot, and the flight recorder
+//! — plus the equally dependency-free HTTP client the CLI's `top` and
+//! `metrics-check` commands (and CI) use to poll it.
+//!
+//! Endpoints:
+//!
+//! | path         | payload                                            |
+//! |--------------|----------------------------------------------------|
+//! | `/metrics`   | Prometheus text exposition ([`crate::prom`])       |
+//! | `/healthz`   | `200 ok` while live; `503 draining` during drain   |
+//! | `/readyz`    | `200 ready` once serving; `503 not ready` before/after |
+//! | `/vars`      | JSON snapshot: counters, gauges, histogram quantiles |
+//! | `/flightrec` | flight-recorder dump as JSONL ([`crate::flight`])  |
+//!
+//! The responder is deliberately minimal: HTTP/1.0, `Connection:
+//! close`, one short-lived thread, GET only. It is an *operational*
+//! port (metrics scrapes, health probes, a `top` loop), not a web
+//! server; anything beyond `GET <path>` gets a 4xx and a closed
+//! socket.
+
+use crate::collect::MetricsSnapshot;
+use crate::flight::FlightRecorder;
+use crate::{Collector, ObsError};
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Liveness/readiness flags shared between the admin responder and
+/// the daemon it reports on. The daemon flips them; `/healthz` and
+/// `/readyz` read them.
+#[derive(Debug, Default)]
+pub struct HealthFlags {
+    /// `false` once shutdown/drain has begun (`/healthz` → 503).
+    pub live: AtomicBool,
+    /// `true` while the daemon admits sessions (`/readyz` → 200).
+    pub ready: AtomicBool,
+}
+
+impl HealthFlags {
+    /// Flags starting live and ready.
+    pub fn up() -> Arc<HealthFlags> {
+        let flags = HealthFlags::default();
+        flags.live.store(true, Ordering::SeqCst);
+        flags.ready.store(true, Ordering::SeqCst);
+        Arc::new(flags)
+    }
+
+    /// Marks the process as draining: unready and unhealthy.
+    pub fn begin_drain(&self) {
+        self.ready.store(false, Ordering::SeqCst);
+        self.live.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Everything the admin responder reports on.
+#[derive(Clone)]
+pub struct AdminState {
+    /// The live metrics registry served by `/metrics` and `/vars`.
+    pub collector: Arc<Collector>,
+    /// The flight recorder behind `/flightrec` (404 when absent).
+    pub flight: Option<Arc<FlightRecorder>>,
+    /// Health/readiness flags behind `/healthz` and `/readyz`.
+    pub health: Arc<HealthFlags>,
+}
+
+/// The admin responder: owns the listener thread until shut down (or
+/// dropped).
+pub struct AdminServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl AdminServer {
+    /// Binds the admin port and starts answering requests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn bind<A: ToSocketAddrs>(addr: A, state: AdminState) -> std::io::Result<AdminServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let shutdown = shutdown.clone();
+            std::thread::Builder::new()
+                .name("rekey-admin".into())
+                .spawn(move || serve_loop(listener, state, shutdown))?
+        };
+        Ok(AdminServer {
+            addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound admin address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the responder and joins its thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for AdminServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn serve_loop(listener: TcpListener, state: AdminState, shutdown: Arc<AtomicBool>) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Requests are tiny and answered inline; a slow or
+                // malicious peer is bounded by the read deadline.
+                let _ = answer(stream, &state);
+            }
+            Err(e) if matches!(e.kind(), std::io::ErrorKind::WouldBlock) => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Reads one request head (bounded), routes it, writes one response.
+fn answer(mut stream: TcpStream, state: &AdminState) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut head = Vec::with_capacity(256);
+    let mut chunk = [0u8; 512];
+    let deadline = Instant::now() + Duration::from_secs(1);
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && !head.windows(2).any(|w| w == b"\n\n") {
+        if head.len() > 8 * 1024 || Instant::now() >= deadline {
+            return respond(&mut stream, 431, "text/plain", "request too large\n");
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                break
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let request = String::from_utf8_lossy(&head);
+    let mut parts = request.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        return respond(&mut stream, 405, "text/plain", "method not allowed\n");
+    }
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" => {
+            let body = state.collector.prometheus_text();
+            respond(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/healthz" => {
+            if state.health.live.load(Ordering::SeqCst) {
+                respond(&mut stream, 200, "text/plain", "ok\n")
+            } else {
+                respond(&mut stream, 503, "text/plain", "draining\n")
+            }
+        }
+        "/readyz" => {
+            if state.health.ready.load(Ordering::SeqCst) {
+                respond(&mut stream, 200, "text/plain", "ready\n")
+            } else {
+                respond(&mut stream, 503, "text/plain", "not ready\n")
+            }
+        }
+        "/vars" => {
+            let body = vars_json(&state.collector.snapshot(), &state.health);
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        "/flightrec" => match &state.flight {
+            Some(flight) => respond(
+                &mut stream,
+                200,
+                "application/x-ndjson",
+                &flight.dump_jsonl(),
+            ),
+            None => respond(&mut stream, 404, "text/plain", "no flight recorder\n"),
+        },
+        _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Renders the `/vars` JSON snapshot: health, counters, last-value
+/// gauges, and per-histogram quantiles (in nanoseconds, pre-computed
+/// so pollers need no histogram math).
+pub fn vars_json(snapshot: &MetricsSnapshot, health: &HealthFlags) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"live\": {},\n  \"ready\": {},\n  \"uptime_ns\": {},",
+        health.live.load(Ordering::SeqCst),
+        health.ready.load(Ordering::SeqCst),
+        crate::now_ns()
+    );
+    out.push_str("  \"counters\": {");
+    for (i, (name, value)) in snapshot.counters.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    \"{name}\": {value}");
+    }
+    out.push_str("\n  },\n  \"gauges\": {");
+    let mut last: std::collections::BTreeMap<&str, f64> = std::collections::BTreeMap::new();
+    for sample in &snapshot.samples {
+        last.insert(sample.name, sample.value);
+    }
+    for (i, (name, value)) in last.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(out, "{sep}\n    \"{name}\": {value}");
+    }
+    out.push_str("\n  },\n  \"hists\": {");
+    let mut first = true;
+    for (name, hist) in &snapshot.hists {
+        if hist.count() == 0 {
+            continue;
+        }
+        let sep = if first { "" } else { "," };
+        first = false;
+        let _ = write!(
+            out,
+            "{sep}\n    \"{name}\": {{\"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}",
+            hist.count(),
+            hist.sum(),
+            hist.quantile(0.5),
+            hist.quantile(0.9),
+            hist.quantile(0.99),
+            hist.max()
+        );
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// A parsed admin HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+}
+
+/// Minimal HTTP GET against an admin endpoint — the "own HTTP client"
+/// used by `rekey top`, `rekey metrics-check`, the integration tests,
+/// and CI (no curl dependency).
+///
+/// # Errors
+///
+/// [`ObsError::Http`] on connect/read failures or an unparseable
+/// response head. Non-2xx statuses are returned, not errors.
+pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> Result<HttpResponse, ObsError> {
+    let http = |detail: String| ObsError::Http { detail };
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)
+        .map_err(|e| http(format!("connect {addr}: {e}")))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .and_then(|()| stream.set_write_timeout(Some(timeout)))
+        .map_err(|e| http(format!("socket setup: {e}")))?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.0\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| http(format!("send request: {e}")))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| http(format!("read response: {e}")))?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .or_else(|| text.split_once("\n\n"))
+        .ok_or_else(|| http("response has no header/body separator".into()))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| http(format!("unparseable status line {:?}", head.lines().next())))?;
+    Ok(HttpResponse {
+        status,
+        body: body.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::FlightKind;
+    use crate::Recorder;
+
+    fn test_state() -> (AdminState, Arc<Collector>, Arc<FlightRecorder>) {
+        let collector = Arc::new(Collector::new());
+        let flight = Arc::new(FlightRecorder::new(64));
+        let state = AdminState {
+            collector: collector.clone(),
+            flight: Some(flight.clone()),
+            health: HealthFlags::up(),
+        };
+        (state, collector, flight)
+    }
+
+    fn get(addr: SocketAddr, path: &str) -> HttpResponse {
+        http_get(addr, path, Duration::from_secs(2)).expect("admin request")
+    }
+
+    #[test]
+    fn serves_metrics_health_vars_and_flightrec() {
+        let (state, collector, flight) = test_state();
+        let health = state.health.clone();
+        let admin = AdminServer::bind("127.0.0.1:0", state).expect("bind admin");
+        let addr = admin.local_addr();
+
+        collector.count("net.fanout.bytes", 4242);
+        collector.time("net.propagation", 125_000);
+        flight.record(FlightKind::EpochPublish, 1, 512);
+
+        let metrics = get(addr, "/metrics");
+        assert_eq!(metrics.status, 200);
+        assert!(metrics.body.contains("net_fanout_bytes_total 4242"));
+        crate::prom::validate(&metrics.body).expect("served metrics validate");
+
+        assert_eq!(get(addr, "/healthz").status, 200);
+        assert_eq!(get(addr, "/readyz").status, 200);
+
+        let vars = get(addr, "/vars");
+        let doc = crate::json::parse(&vars.body).expect("vars is JSON");
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("net.fanout.bytes"))
+                .and_then(|v| v.as_num()),
+            Some(4242.0)
+        );
+        assert!(doc
+            .get("hists")
+            .and_then(|h| h.get("net.propagation"))
+            .and_then(|h| h.get("p99_ns"))
+            .is_some());
+
+        let rec = get(addr, "/flightrec");
+        assert_eq!(rec.status, 200);
+        assert!(rec.body.contains("\"kind\":\"epoch_publish\""));
+
+        assert_eq!(get(addr, "/nope").status, 404);
+
+        // Drain flips health while the responder stays up.
+        health.begin_drain();
+        assert_eq!(get(addr, "/healthz").status, 503);
+        assert_eq!(get(addr, "/readyz").status, 503);
+        assert_eq!(get(addr, "/metrics").status, 200, "metrics survive drain");
+
+        admin.shutdown();
+    }
+
+    #[test]
+    fn non_get_requests_are_refused() {
+        let (state, _, _) = test_state();
+        let admin = AdminServer::bind("127.0.0.1:0", state).expect("bind admin");
+        let addr = admin.local_addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .write_all(b"POST /metrics HTTP/1.0\r\n\r\n")
+            .expect("send");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        assert!(out.starts_with("HTTP/1.0 405"), "{out}");
+        admin.shutdown();
+    }
+}

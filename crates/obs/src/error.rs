@@ -32,6 +32,19 @@ pub enum ObsError {
         /// The thread track it was open on.
         tid: u64,
     },
+    /// A Prometheus exposition document violates the text format.
+    Metrics {
+        /// 1-based offending line (0 for document-level failures).
+        line: usize,
+        /// Which invariant it violates.
+        detail: String,
+    },
+    /// An admin-plane HTTP exchange failed (connect, request, or a
+    /// non-success status).
+    Http {
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ObsError {
@@ -45,6 +58,13 @@ impl fmt::Display for ObsError {
             ObsError::UnbalancedSpan { name, tid } => {
                 write!(f, "span {name:?} on tid {tid} never ends")
             }
+            ObsError::Metrics { line: 0, detail } => {
+                write!(f, "invalid metrics exposition: {detail}")
+            }
+            ObsError::Metrics { line, detail } => {
+                write!(f, "invalid metrics exposition at line {line}: {detail}")
+            }
+            ObsError::Http { detail } => write!(f, "admin http: {detail}"),
         }
     }
 }

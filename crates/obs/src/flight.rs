@@ -1,0 +1,322 @@
+//! A lock-free flight recorder: the last N structured events before
+//! "something happened", dumped as JSONL.
+//!
+//! Post-hoc traces answer "where did the nanoseconds go"; a flight
+//! recorder answers "what was the daemon *doing* right before the
+//! failure". [`FlightRecorder`] is a fixed-size ring of fixed-size
+//! events (kind + timestamp + two `u64` operands) written with a
+//! per-slot seqlock: recording is a `fetch_add` on the write cursor
+//! plus four relaxed stores — no mutex, no allocation, safe from every
+//! shard thread at once. Readers ([`FlightRecorder::dump_jsonl`])
+//! detect in-flight writes by the slot sequence number and skip torn
+//! slots instead of blocking writers.
+//!
+//! Memory is bounded by construction: `capacity × 40` bytes, allocated
+//! once. A 4096-event recorder costs 160 KiB and covers several
+//! seconds of heavy churn.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What happened. The two operands `a`/`b` carry kind-specific detail
+/// (documented per variant); both are rendered under kind-specific
+/// JSON keys by the dump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FlightKind {
+    /// A session was accepted and authenticated. `a` = member id.
+    Accept,
+    /// A handshake failed. `a` = reject reason code (0 = I/O error).
+    HandshakeFail,
+    /// A NACK arrived. `a` = member id, `b` = number of epochs asked.
+    Nack,
+    /// An epoch was retransmitted from the window. `a` = member id,
+    /// `b` = epoch.
+    Retransmit,
+    /// A NACKed epoch was already evicted. `a` = member id, `b` = the
+    /// evicted epoch.
+    Gap,
+    /// A session was dropped for falling behind. `a` = member id,
+    /// `b` = queue depth at disconnect.
+    BackpressureDrop,
+    /// One epoch hit the fan-out. `a` = epoch, `b` = framed bytes.
+    EpochPublish,
+    /// A session closed (EOF, error, or `Bye`). `a` = member id.
+    SessionClosed,
+    /// A client reported end-to-end propagation. `a` = epoch,
+    /// `b` = lag in nanoseconds.
+    PropagationAck,
+}
+
+impl FlightKind {
+    fn code(self) -> u64 {
+        match self {
+            FlightKind::Accept => 1,
+            FlightKind::HandshakeFail => 2,
+            FlightKind::Nack => 3,
+            FlightKind::Retransmit => 4,
+            FlightKind::Gap => 5,
+            FlightKind::BackpressureDrop => 6,
+            FlightKind::EpochPublish => 7,
+            FlightKind::SessionClosed => 8,
+            FlightKind::PropagationAck => 9,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<FlightKind> {
+        Some(match code {
+            1 => FlightKind::Accept,
+            2 => FlightKind::HandshakeFail,
+            3 => FlightKind::Nack,
+            4 => FlightKind::Retransmit,
+            5 => FlightKind::Gap,
+            6 => FlightKind::BackpressureDrop,
+            7 => FlightKind::EpochPublish,
+            8 => FlightKind::SessionClosed,
+            9 => FlightKind::PropagationAck,
+            _ => return None,
+        })
+    }
+
+    /// Stable JSONL name of the kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightKind::Accept => "accept",
+            FlightKind::HandshakeFail => "handshake_fail",
+            FlightKind::Nack => "nack",
+            FlightKind::Retransmit => "retransmit",
+            FlightKind::Gap => "gap",
+            FlightKind::BackpressureDrop => "backpressure_drop",
+            FlightKind::EpochPublish => "epoch_publish",
+            FlightKind::SessionClosed => "session_closed",
+            FlightKind::PropagationAck => "propagation_ack",
+        }
+    }
+
+    /// JSON key names for the `a` and `b` operands.
+    fn field_names(self) -> (&'static str, &'static str) {
+        match self {
+            FlightKind::Accept => ("member", "b"),
+            FlightKind::HandshakeFail => ("reason", "b"),
+            FlightKind::Nack => ("member", "epochs"),
+            FlightKind::Retransmit => ("member", "epoch"),
+            FlightKind::Gap => ("member", "epoch"),
+            FlightKind::BackpressureDrop => ("member", "depth"),
+            FlightKind::EpochPublish => ("epoch", "bytes"),
+            FlightKind::SessionClosed => ("member", "b"),
+            FlightKind::PropagationAck => ("epoch", "lag_ns"),
+        }
+    }
+}
+
+/// One decoded flight event, as read back by [`FlightRecorder::events`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// What happened.
+    pub kind: FlightKind,
+    /// When, on the [`crate::now_ns`] timeline.
+    pub ts_ns: u64,
+    /// First kind-specific operand.
+    pub a: u64,
+    /// Second kind-specific operand.
+    pub b: u64,
+}
+
+/// One ring slot: a seqlock sequence word plus the event payload.
+///
+/// `seq` is 0 while empty, odd while a writer owns the slot, and
+/// `2 × (generation + 1)` once the write of that generation completed.
+#[derive(Debug, Default)]
+struct Slot {
+    seq: AtomicU64,
+    ts_ns: AtomicU64,
+    kind: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+/// The fixed-size, lock-free event ring. See the module docs.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    cursor: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder retaining the last `capacity` events (clamped to a
+    /// minimum of 16; memory is `capacity × 40` bytes, fixed).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(16);
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Slot::default()).collect(),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of events this ring retains.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Records one event, timestamped now. Wait-free for writers: one
+    /// `fetch_add` and five relaxed/release stores.
+    #[inline]
+    pub fn record(&self, kind: FlightKind, a: u64, b: u64) {
+        let n = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        let slot = &self.slots[(n % cap) as usize];
+        let generation = n / cap;
+        // Claim: odd sequence marks the slot as mid-write.
+        slot.seq.store(2 * generation + 1, Ordering::Release);
+        slot.ts_ns.store(crate::now_ns(), Ordering::Relaxed);
+        slot.kind.store(kind.code(), Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        // Publish: even sequence of this generation.
+        slot.seq.store(2 * (generation + 1), Ordering::Release);
+    }
+
+    /// Reads back the retained events, oldest first. Slots currently
+    /// being overwritten (or lapped mid-read) are skipped rather than
+    /// returned torn.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        let cursor = self.cursor.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let retained = cursor.min(cap);
+        let mut out = Vec::with_capacity(retained as usize);
+        for n in cursor - retained..cursor {
+            let slot = &self.slots[(n % cap) as usize];
+            let expected = 2 * (n / cap + 1);
+            if slot.seq.load(Ordering::Acquire) != expected {
+                continue; // mid-write or already lapped
+            }
+            let event = FlightEvent {
+                ts_ns: slot.ts_ns.load(Ordering::Relaxed),
+                kind: match FlightKind::from_code(slot.kind.load(Ordering::Relaxed)) {
+                    Some(kind) => kind,
+                    None => continue,
+                },
+                a: slot.a.load(Ordering::Relaxed),
+                b: slot.b.load(Ordering::Relaxed),
+            };
+            // Confirm the slot was not overwritten while we read it.
+            if slot.seq.load(Ordering::Acquire) == expected {
+                out.push(event);
+            }
+        }
+        out
+    }
+
+    /// Renders the retained events as JSONL (one compact JSON object
+    /// per line, oldest first) — the `/flightrec` admin payload and
+    /// the panic/SIGTERM dump format.
+    pub fn dump_jsonl(&self) -> String {
+        use std::fmt::Write as _;
+        let events = self.events();
+        let mut out = String::with_capacity(events.len() * 64);
+        for e in events {
+            let (ka, kb) = e.kind.field_names();
+            let _ = write!(
+                out,
+                "{{\"ts_ns\":{},\"kind\":\"{}\",\"{ka}\":{}",
+                e.ts_ns,
+                e.kind.name(),
+                e.a
+            );
+            if kb != "b" || e.b != 0 {
+                let _ = write!(out, ",\"{kb}\":{}", e.b);
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reads_back_in_order() {
+        let rec = FlightRecorder::new(64);
+        rec.record(FlightKind::Accept, 7, 0);
+        rec.record(FlightKind::EpochPublish, 3, 512);
+        rec.record(FlightKind::BackpressureDrop, 7, 1024);
+        let events = rec.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, FlightKind::Accept);
+        assert_eq!(events[0].a, 7);
+        assert_eq!(events[1].kind, FlightKind::EpochPublish);
+        assert_eq!(events[2].b, 1024);
+        assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn ring_retains_only_the_newest() {
+        let rec = FlightRecorder::new(16);
+        for i in 0..100u64 {
+            rec.record(FlightKind::EpochPublish, i, 0);
+        }
+        let events = rec.events();
+        assert_eq!(events.len(), 16);
+        assert_eq!(events.first().unwrap().a, 84);
+        assert_eq!(events.last().unwrap().a, 99);
+        assert_eq!(rec.recorded(), 100);
+    }
+
+    #[test]
+    fn dump_is_valid_jsonl() {
+        let rec = FlightRecorder::new(32);
+        rec.record(FlightKind::Nack, 5, 3);
+        rec.record(FlightKind::Gap, 5, 1);
+        rec.record(FlightKind::PropagationAck, 9, 120_000);
+        let dump = rec.dump_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let value = crate::json::parse(line).expect("every line is JSON");
+            assert!(value.get("ts_ns").is_some());
+            assert!(value.get("kind").is_some());
+        }
+        assert!(lines[0].contains("\"kind\":\"nack\""));
+        assert!(lines[0].contains("\"epochs\":3"));
+        assert!(lines[2].contains("\"lag_ns\":120000"));
+    }
+
+    #[test]
+    fn empty_recorder_dumps_empty() {
+        let rec = FlightRecorder::new(16);
+        assert!(rec.events().is_empty());
+        assert!(rec.dump_jsonl().is_empty());
+    }
+
+    #[test]
+    fn concurrent_writers_never_corrupt_the_ring() {
+        let rec = std::sync::Arc::new(FlightRecorder::new(64));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let rec = rec.clone();
+                s.spawn(move || {
+                    for i in 0..5_000u64 {
+                        rec.record(FlightKind::EpochPublish, t, i);
+                    }
+                });
+            }
+            // Concurrent reads must never tear or panic.
+            let reader = rec.clone();
+            s.spawn(move || {
+                for _ in 0..200 {
+                    for e in reader.events() {
+                        assert!(e.a < 4, "torn slot leaked a bogus operand");
+                    }
+                }
+            });
+        });
+        assert_eq!(rec.recorded(), 20_000);
+        assert_eq!(rec.events().len(), 64);
+    }
+}

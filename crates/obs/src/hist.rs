@@ -123,6 +123,17 @@ impl Log2Histogram {
         self.max
     }
 
+    /// Raw bucket occupancy plus the occupied index range, for
+    /// exporters that render cumulative buckets: returns
+    /// `(buckets, lowest, highest)` where `lowest..=highest` spans the
+    /// non-zero buckets (`(_, 0, 0)` when empty). Bucket `i` holds
+    /// values below `2^i`, so `2^i` is its natural `le` upper bound.
+    pub fn bucket_counts(&self) -> (&[u64; 65], usize, usize) {
+        let lowest = self.buckets.iter().position(|&n| n > 0).unwrap_or(0);
+        let highest = self.buckets.iter().rposition(|&n| n > 0).unwrap_or(0);
+        (&self.buckets, lowest, highest)
+    }
+
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Log2Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {

@@ -1,6 +1,7 @@
-//! A minimal JSON parser, used to validate exported traces without
-//! external dependencies. Supports the full JSON grammar (objects,
-//! arrays, strings with escapes, numbers, booleans, null).
+//! A minimal JSON parser: used to validate exported traces and to
+//! parse admin-endpoint responses (`/vars`, flight-recorder lines)
+//! without external dependencies. Supports the full JSON grammar
+//! (objects, arrays, strings with escapes, numbers, booleans, null).
 //!
 //! All failures are reported as [`ObsError::Json`] carrying the byte
 //! offset where parsing stopped.
@@ -18,38 +19,48 @@ fn err(offset: usize, detail: impl Into<String>) -> ObsError {
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) enum Value {
+pub enum Value {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// Any JSON number (parsed as `f64`).
     Num(f64),
+    /// A string literal, with escapes resolved.
     Str(String),
+    /// An array.
     Arr(Vec<Value>),
+    /// An object, keyed in sorted order.
     Obj(BTreeMap<String, Value>),
 }
 
 impl Value {
-    pub(crate) fn get(&self, key: &str) -> Option<&Value> {
+    /// Looks up `key` in an object (`None` for other kinds).
+    pub fn get(&self, key: &str) -> Option<&Value> {
         match self {
             Value::Obj(map) => map.get(key),
             _ => None,
         }
     }
 
-    pub(crate) fn as_arr(&self) -> Option<&[Value]> {
+    /// The array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
         match self {
             Value::Arr(items) => Some(items),
             _ => None,
         }
     }
 
-    pub(crate) fn as_str(&self) -> Option<&str> {
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
             _ => None,
         }
     }
 
-    pub(crate) fn as_num(&self) -> Option<f64> {
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
         match self {
             Value::Num(n) => Some(*n),
             _ => None,
@@ -58,7 +69,11 @@ impl Value {
 }
 
 /// Parses a complete JSON document (rejects trailing garbage).
-pub(crate) fn parse(text: &str) -> Result<Value, ObsError> {
+///
+/// # Errors
+///
+/// [`ObsError::Json`] with the byte offset of the first syntax error.
+pub fn parse(text: &str) -> Result<Value, ObsError> {
     let bytes = text.as_bytes();
     let mut pos = 0;
     let value = parse_value(bytes, &mut pos)?;

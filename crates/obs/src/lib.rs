@@ -17,8 +17,16 @@
 //! - [`chrome`] — Chrome `trace_event` JSON export (loadable in
 //!   `about:tracing` / [Perfetto](https://ui.perfetto.dev)) plus a
 //!   validator for the emitted format,
-//! - [`prom`] — a Prometheus-style text dump of counters, histogram
-//!   summaries, and last-value gauges.
+//! - [`prom`] — Prometheus text exposition (`# HELP`/`# TYPE`,
+//!   cumulative histogram buckets) plus a validator for the format,
+//! - [`flight::FlightRecorder`] — a lock-free ring of structured
+//!   events ("what was the daemon doing right before the failure"),
+//!   dumped as JSONL,
+//! - [`admin`] — a zero-dependency HTTP/1.0 admin plane (`/metrics`,
+//!   `/healthz`, `/readyz`, `/vars`, `/flightrec`) and the matching
+//!   [`admin::http_get`] client used by `rekey top` and CI probes,
+//! - [`json`] — the in-house JSON parser backing the validators and
+//!   admin pollers.
 //!
 //! # Global or injected
 //!
@@ -54,17 +62,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admin;
 pub mod chrome;
+pub mod flight;
 pub mod hist;
+pub mod json;
 pub mod prom;
 
 mod collect;
 mod error;
-mod json;
 mod recorder;
 
+pub use admin::{AdminServer, AdminState, HealthFlags};
 pub use collect::{Collector, MetricsSnapshot, SampleEvent, SpanEvent};
 pub use error::ObsError;
+pub use flight::{FlightEvent, FlightKind, FlightRecorder};
 pub use recorder::{
     count, enabled, install, now_ns, sample, thread_id, time_ns, total_time_ns, uninstall,
     Recorder, SpanGuard,
