@@ -50,6 +50,7 @@
 //!                 [--members 16] [--intervals 50] [--seed 42]
 //!                 [--key-seed 7] [--period-ms 200] [--net-workers 2]
 //!                 [--admin-addr 127.0.0.1:9100] [--smoke]
+//!                 [--data-dir DIR] [--snapshot-every 8] [--churn]
 //!     Run `rekeyd`, the threaded TCP key-distribution daemon:
 //!     bootstrap `--members` demo members (individual keys derived
 //!     from `--key-seed`), then publish one rekey epoch every
@@ -62,7 +63,22 @@
 //!     to stderr. `--smoke` additionally runs every member as an
 //!     in-process socket client against the daemon and verifies all
 //!     of them arrive at the group DEK with byte-identical wire
-//!     digests — the single-process loopback CI job.
+//!     digests — the single-process loopback CI job. `--data-dir`
+//!     makes the epoch stream durable: every interval is written to a
+//!     write-ahead log (and fsynced) *before* the frame is fanned
+//!     out, a CRC-checked snapshot is taken every `--snapshot-every`
+//!     intervals (and at drain), and on boot the daemon recovers the
+//!     snapshot + WAL tail and resumes at the logged epoch — a
+//!     SIGKILLed daemon restarted on the same directory re-derives
+//!     byte-identical epochs. `--churn` adds a deterministic
+//!     join/leave every interval so the WAL sees real membership
+//!     records.
+//!
+//! rekey snapshot  --data-dir DIR
+//!     Inspect a durable data directory offline: snapshot epoch and
+//!     size, WAL record count and epoch range, torn bytes dropped
+//!     from the tail, and the resulting durable epoch — the value CI
+//!     asserts is monotonic across a crash/restart cycle.
 //!
 //! rekey top       --addr HOST:PORT [--period-ms 1000] [--iters 0]
 //!     Poll a running rekeyd's admin endpoint (`/vars`) and render a
@@ -113,7 +129,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str =
-    "usage: rekey <model|simulate|recommend|transport|trace-check|fuzz|serve|client|top|metrics-check|simd> [--flag value ...]
+    "usage: rekey <model|simulate|recommend|transport|trace-check|fuzz|serve|client|top|metrics-check|snapshot|simd> [--flag value ...]
 run `rekey help` or see the crate docs for the full flag list";
 
 fn main() -> ExitCode {
@@ -135,6 +151,7 @@ fn main() -> ExitCode {
         Some("client") => cmd_client(&args),
         Some("top") => cmd_top(&args),
         Some("metrics-check") => cmd_metrics_check(&args),
+        Some("snapshot") => cmd_snapshot(&args),
         Some("simd") => cmd_simd(),
         Some("help") | None => {
             println!("{USAGE}");
@@ -454,6 +471,16 @@ fn cmd_serve(args: &Args) -> CliResult {
         Some(spec) => Some(spec.parse::<std::net::SocketAddr>()?),
         None => None,
     };
+    let data_dir = path_flag(args, "data-dir")?;
+    let snapshot_every: u64 = args.get_parsed_or("snapshot-every", 8u64)?;
+    let churn: bool = args.get_bool_or("churn", false)?;
+    if data_dir.is_some() && scheme == Scheme::Adaptive {
+        return Err(
+            "the adaptive scheme cannot serialize its state; --data-dir requires a \
+                    fixed scheme"
+                .into(),
+        );
+    }
 
     // The daemon records into this collector directly; installing it
     // globally as well merges the in-process smoke clients' and
@@ -499,6 +526,35 @@ fn cmd_serve(args: &Args) -> CliResult {
         daemon.register(*member, key.clone());
     }
 
+    // Durable mode: recover the snapshot + WAL tail from --data-dir,
+    // republish the re-derived epochs into the retransmission window
+    // (reconnecting clients NACK them back), and resume the RNG and
+    // interval counter exactly where the previous process stopped.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut journal = None;
+    let mut start_interval = 0u64;
+    if let Some(dir) = &data_dir {
+        let mut j = rekey_core::Journal::new(rekey_storage::DirStorage::open(dir)?, snapshot_every);
+        let recovery = j.recover(manager.as_mut())?;
+        if recovery.snapshot_loaded || recovery.replayed > 0 {
+            println!(
+                "rekeyd: recovered epoch {} from {dir} (snapshot loaded: {}, {} WAL record(s) replayed, {} torn byte(s) dropped)",
+                recovery.epoch,
+                recovery.snapshot_loaded,
+                recovery.replayed,
+                recovery.dropped_wal_bytes
+            );
+        }
+        for message in &recovery.messages {
+            daemon.publish(message)?;
+        }
+        if let Some(recovered) = recovery.rng {
+            rng = recovered;
+        }
+        start_interval = recovery.epoch;
+        journal = Some(j);
+    }
+
     // `--smoke`: every member is also an in-process socket client
     // following the daemon over real loopback TCP.
     let dek_node = manager.dek_node();
@@ -520,11 +576,10 @@ fn cmd_serve(args: &Args) -> CliResult {
         }
     }
 
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut digest = Sha256::new();
     let mut total_entries = 0usize;
     let mut published = 0u64;
-    for interval in 0..intervals {
+    for interval in start_interval..intervals {
         if term_signal::requested() {
             println!("rekeyd: termination signal after {published} epochs — draining");
             daemon.begin_shutdown();
@@ -532,7 +587,7 @@ fn cmd_serve(args: &Args) -> CliResult {
             eprint!("{}", flight.dump_jsonl());
             break;
         }
-        let joins: Vec<Join> = if interval == 0 {
+        let mut joins: Vec<Join> = if interval == 0 {
             member_keys
                 .iter()
                 .map(|(m, key)| Join::new(*m, key.clone()))
@@ -540,18 +595,35 @@ fn cmd_serve(args: &Args) -> CliResult {
         } else {
             Vec::new()
         };
-        // The fan-out hook: the daemon is the manager's RekeySink.
+        let mut leaves: Vec<MemberId> = Vec::new();
+        if churn && interval > 0 {
+            // Deterministic ghost-member churn: cycle extra member ids
+            // (outside the demo-client range) through join/leave so the
+            // WAL sees real membership records. Presence is read back
+            // from the manager, so the pattern survives a restart.
+            let ghost = MemberId(members + (interval % members.max(1)));
+            if manager.contains(ghost) {
+                leaves.push(ghost);
+            } else {
+                joins.push(Join::new(ghost, demo_member_key(key_seed, ghost)));
+            }
+        }
+        // The fan-out hook: the daemon is the manager's RekeySink. In
+        // durable mode the journal appends + fsyncs the epoch record
+        // *before* invoking the sink — no frame a restart cannot
+        // re-derive ever reaches a client.
         let mut publish_err = None;
-        let outcome = manager.process_interval_into(
-            &joins,
-            &[],
-            &mut rng,
-            &mut |message: &RekeyMessage| {
-                if let Err(e) = daemon.publish(message) {
-                    publish_err = Some(e);
-                }
-            },
-        )?;
+        let mut sink = |message: &RekeyMessage| {
+            if let Err(e) = daemon.publish(message) {
+                publish_err = Some(e);
+            }
+        };
+        let outcome = match journal.as_mut() {
+            Some(journal) => {
+                journal.durable_interval(manager.as_mut(), &joins, &leaves, &mut rng, &mut sink)?
+            }
+            None => manager.process_interval_into(&joins, &leaves, &mut rng, &mut sink)?,
+        };
         if let Some(e) = publish_err {
             return Err(e.into());
         }
@@ -561,6 +633,11 @@ fn cmd_serve(args: &Args) -> CliResult {
         if period_ms > 0 {
             std::thread::sleep(Duration::from_millis(period_ms));
         }
+    }
+    // Drain-time flush: a final snapshot subsumes the WAL, so a clean
+    // restart replays nothing.
+    if let Some(journal) = journal.as_mut() {
+        journal.snapshot(manager.as_ref(), &rng)?;
     }
     let server_digest = digest.finalize();
     println!(
@@ -806,6 +883,64 @@ fn cmd_metrics_check(args: &Args) -> CliResult {
         summary.gauges.len(),
         summary.histograms.len()
     );
+    Ok(())
+}
+
+/// Offline inspection of a `--data-dir`: snapshot epoch, WAL record
+/// range, torn bytes, and the resulting durable epoch. CI greps the
+/// `durable epoch` line to assert monotonicity across a kill/restart.
+fn cmd_snapshot(args: &Args) -> CliResult {
+    use rekey_core::persist::{EpochRecord, SNAPSHOT_WIRE_VERSION};
+    use rekey_storage::{DirStorage, Storage};
+
+    let dir = path_flag(args, "data-dir")?.ok_or("snapshot requires --data-dir <dir>")?;
+    let mut storage = DirStorage::open(&dir)?;
+
+    let mut snapshot_epoch: Option<u64> = None;
+    match storage.load_snapshot()? {
+        Some(blob) => {
+            if blob.first() != Some(&SNAPSHOT_WIRE_VERSION) {
+                return Err(
+                    format!("{dir}: unsupported snapshot version {:?}", blob.first()).into(),
+                );
+            }
+            let epoch_bytes: [u8; 8] = blob
+                .get(1..9)
+                .and_then(|b| b.try_into().ok())
+                .ok_or("snapshot header truncated")?;
+            let epoch = u64::from_be_bytes(epoch_bytes);
+            println!("snapshot: epoch {epoch}, {} bytes", blob.len());
+            snapshot_epoch = Some(epoch);
+        }
+        None => println!("snapshot: none"),
+    }
+
+    let replay = storage.read_wal()?;
+    let mut first_epoch = None;
+    let mut last_epoch = None;
+    for bytes in &replay.records {
+        let record =
+            EpochRecord::decode(bytes).ok_or("corrupt epoch record inside a valid WAL frame")?;
+        first_epoch.get_or_insert(record.epoch);
+        last_epoch = Some(record.epoch);
+    }
+    match (first_epoch, last_epoch) {
+        (Some(first), Some(last)) => println!(
+            "wal: {} record(s), epochs {first}..={last}, {} torn byte(s) dropped",
+            replay.records.len(),
+            replay.dropped_bytes
+        ),
+        _ => println!(
+            "wal: 0 records, {} torn byte(s) dropped",
+            replay.dropped_bytes
+        ),
+    }
+
+    // A crash between the snapshot write and the WAL truncation can
+    // leave records the snapshot already covers; durability is the max
+    // of both, exactly as recovery computes it.
+    let durable = last_epoch.unwrap_or(0).max(snapshot_epoch.unwrap_or(0));
+    println!("durable epoch: {durable}");
     Ok(())
 }
 

@@ -114,6 +114,49 @@ impl PlacementPolicy for CombinedPolicy {
         }
         Ok(())
     }
+
+    fn save_policy_state(&self, buf: &mut Vec<u8>) {
+        use rekey_keytree::message::codec::{put_u32, put_u64};
+        // S-partition bookkeeping (same shape as the TT policy's).
+        put_u32(buf, self.s_ages.len() as u32);
+        for (&member, &joined) in &self.s_ages {
+            put_u64(buf, member.0);
+            put_u64(buf, joined);
+            buf.extend_from_slice(self.s_keys[&member].as_bytes());
+        }
+        // Join-time loss hints (f64 bit patterns, big-endian).
+        put_u32(buf, self.join_hints.len() as u32);
+        for (&member, &loss) in &self.join_hints {
+            put_u64(buf, member.0);
+            put_u64(buf, loss.to_bits());
+        }
+        self.estimator.save_into(buf);
+        // Boundaries, k, and min_samples are configuration.
+    }
+
+    fn load_policy_state(&mut self, buf: &mut &[u8]) -> Option<()> {
+        use rekey_keytree::message::codec::{get_u32, get_u64};
+        let count = get_u32(buf)?;
+        self.s_ages.clear();
+        self.s_keys.clear();
+        for _ in 0..count {
+            let member = MemberId(get_u64(buf)?);
+            let joined = get_u64(buf)?;
+            let (key, rest) = buf.split_first_chunk::<32>()?;
+            *buf = rest;
+            self.s_ages.insert(member, joined);
+            self.s_keys.insert(member, Key::from_bytes(*key));
+        }
+        let count = get_u32(buf)?;
+        self.join_hints.clear();
+        for _ in 0..count {
+            let member = MemberId(get_u64(buf)?);
+            self.join_hints
+                .insert(member, f64::from_bits(get_u64(buf)?));
+        }
+        self.estimator = LossEstimator::load_from(buf)?;
+        Some(())
+    }
 }
 
 /// Two-partition + loss-homogenized group key manager (§3 + §4).

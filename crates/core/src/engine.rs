@@ -40,12 +40,17 @@
 //! The whole interval runs under a `rekey.batch` span.
 
 use crate::dek::DekState;
+use crate::persist::PersistError;
 use crate::{GroupKeyManager, IntervalOutcome, IntervalStats, Join};
 use rand::RngCore;
 use rekey_crypto::Key;
+use rekey_keytree::message::codec::{get_u32, get_u64, get_u8, put_u32, put_u64};
 use rekey_keytree::message::{RekeyEntry, RekeyMessage};
 use rekey_keytree::server::{BatchOutcome, LkhServer, PlannedBatch};
 use rekey_keytree::{KeyTreeError, MemberId, NodeId};
+
+/// Version byte leading a serialized [`RekeyEngine`] state blob.
+pub const ENGINE_WIRE_VERSION: u8 = 1;
 
 /// Below this many planned encryptions (summed over all trees) the
 /// engine executes trees inline even when parallelism is enabled:
@@ -297,6 +302,24 @@ pub trait PlacementPolicy {
     fn internal_members_under(&self, node: NodeId) -> Option<Vec<MemberId>> {
         let _ = node;
         None
+    }
+
+    /// Serializes the policy's bookkeeping (ages, keys, queues,
+    /// estimators) onto `buf` for crash recovery. Configuration that
+    /// the constructor re-derives (periods, boundaries) is *not*
+    /// serialized. The default writes nothing — correct for stateless
+    /// policies; stateful policies must override this together with
+    /// [`PlacementPolicy::load_policy_state`].
+    fn save_policy_state(&self, buf: &mut Vec<u8>) {
+        let _ = buf;
+    }
+
+    /// Restores bookkeeping serialized by
+    /// [`PlacementPolicy::save_policy_state`], consuming exactly the
+    /// bytes it wrote from `buf`. Returns `None` if they do not parse.
+    fn load_policy_state(&mut self, buf: &mut &[u8]) -> Option<()> {
+        let _ = buf;
+        Some(())
     }
 }
 
@@ -617,5 +640,85 @@ impl<P: PlacementPolicy> GroupKeyManager for RekeyEngine<P> {
 
     fn scheme_name(&self) -> &'static str {
         self.policy.scheme_name()
+    }
+
+    fn save_state(&self, buf: &mut Vec<u8>) -> Result<(), PersistError> {
+        buf.push(ENGINE_WIRE_VERSION);
+        let name = self.policy.scheme_name();
+        put_u32(buf, name.len() as u32);
+        buf.extend_from_slice(name.as_bytes());
+        put_u64(buf, self.epoch);
+        match &self.dek {
+            Some(dek) => {
+                buf.push(1);
+                put_u64(buf, dek.node.0);
+                buf.extend_from_slice(dek.key.as_bytes());
+                put_u64(buf, dek.version);
+            }
+            None => buf.push(0),
+        }
+        put_u32(buf, self.trees.len() as u32);
+        for slot in &self.trees {
+            slot.server.encode_into(buf);
+        }
+        self.policy.save_policy_state(buf);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        let bad = |what: &'static str| PersistError::Codec { what };
+        let mut buf = bytes;
+        if get_u8(&mut buf).ok_or(bad("engine state"))? != ENGINE_WIRE_VERSION {
+            return Err(bad("engine state version"));
+        }
+        let name_len = get_u32(&mut buf).ok_or(bad("scheme name"))? as usize;
+        if buf.len() < name_len {
+            return Err(bad("scheme name"));
+        }
+        let (name, rest) = buf.split_at(name_len);
+        buf = rest;
+        let expected = self.policy.scheme_name();
+        if name != expected.as_bytes() {
+            return Err(PersistError::SchemeMismatch {
+                expected: expected.to_string(),
+                found: String::from_utf8_lossy(name).into_owned(),
+            });
+        }
+        let epoch = get_u64(&mut buf).ok_or(bad("engine epoch"))?;
+        // The DEK layering is configuration; the blob must agree with
+        // how this engine was built before its key material is taken.
+        match get_u8(&mut buf).ok_or(bad("DEK flag"))? {
+            0 if self.dek.is_none() => {}
+            1 if self.dek.is_some() => {
+                let node = NodeId(get_u64(&mut buf).ok_or(bad("DEK node"))?);
+                let (key, rest) = buf.split_first_chunk::<32>().ok_or(bad("DEK key"))?;
+                buf = rest;
+                let version = get_u64(&mut buf).ok_or(bad("DEK version"))?;
+                let dek = self.dek.as_mut().expect("checked above");
+                if dek.node != node {
+                    return Err(bad("DEK namespace"));
+                }
+                dek.key = Key::from_bytes(*key);
+                dek.version = version;
+            }
+            _ => return Err(bad("DEK layering")),
+        }
+        let count = get_u32(&mut buf).ok_or(bad("tree count"))? as usize;
+        if count != self.trees.len() {
+            return Err(bad("tree count"));
+        }
+        for slot in &mut self.trees {
+            let mut server = LkhServer::decode(&mut buf).ok_or(bad("tree"))?;
+            server.set_parallelism(self.parallelism);
+            slot.server = server;
+        }
+        self.policy
+            .load_policy_state(&mut buf)
+            .ok_or(bad("policy state"))?;
+        if !buf.is_empty() {
+            return Err(bad("trailing bytes"));
+        }
+        self.epoch = epoch;
+        Ok(())
     }
 }

@@ -61,10 +61,12 @@ pub mod engine;
 pub mod loss_forest;
 pub mod one_tree;
 pub mod partition;
+pub mod persist;
 pub mod scheme;
 
 mod dek;
 
+pub use persist::{Journal, PersistError, Recovery};
 pub use scheme::{Scheme, SchemeConfig, SchemeParseError};
 
 use rand::RngCore;
@@ -97,7 +99,7 @@ pub enum DurationClass {
 
 /// A join request: the member, its registered individual key, and
 /// optional hints.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Join {
     /// The joining member.
     pub member: MemberId,
@@ -253,4 +255,38 @@ pub trait GroupKeyManager {
 
     /// A short human-readable scheme name for reports.
     fn scheme_name(&self) -> &'static str;
+
+    /// Serializes the manager's full durable state (epoch, trees,
+    /// policy bookkeeping, DEK) onto `buf`, such that a freshly-built
+    /// manager of the same configuration restored from these bytes is
+    /// behaviourally indistinguishable — it emits byte-identical rekey
+    /// messages for any future input. The engine-based schemes all
+    /// support this; the default declines.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Unsupported`] if the scheme cannot serialize
+    /// (e.g. the adaptive switcher).
+    fn save_state(&self, buf: &mut Vec<u8>) -> Result<(), PersistError> {
+        let _ = buf;
+        Err(PersistError::Unsupported {
+            scheme: self.scheme_name(),
+        })
+    }
+
+    /// Restores state serialized by [`GroupKeyManager::save_state`]
+    /// into this manager, which must have been built with the same
+    /// configuration (scheme, degree, namespaces).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Unsupported`] if the scheme cannot restore,
+    /// [`PersistError::SchemeMismatch`] if the bytes belong to another
+    /// scheme, [`PersistError::Codec`] if they do not parse.
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        let _ = bytes;
+        Err(PersistError::Unsupported {
+            scheme: self.scheme_name(),
+        })
+    }
 }

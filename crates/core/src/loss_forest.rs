@@ -169,6 +169,33 @@ impl LossEstimator {
         let &(lost, seen) = self.observed.get(&member)?;
         (seen >= min_samples).then(|| lost as f64 / seen as f64)
     }
+
+    /// Serializes the accumulated observations onto `buf` (crash
+    /// recovery of the combined scheme).
+    pub fn save_into(&self, buf: &mut Vec<u8>) {
+        use rekey_keytree::message::codec::{put_u32, put_u64};
+        put_u32(buf, self.observed.len() as u32);
+        for (&member, &(lost, seen)) in &self.observed {
+            put_u64(buf, member.0);
+            put_u64(buf, lost);
+            put_u64(buf, seen);
+        }
+    }
+
+    /// Decodes an estimator serialized by [`LossEstimator::save_into`],
+    /// advancing `buf` past it. Returns `None` on truncation.
+    pub fn load_from(buf: &mut &[u8]) -> Option<LossEstimator> {
+        use rekey_keytree::message::codec::{get_u32, get_u64};
+        let count = get_u32(buf)?;
+        let mut observed = BTreeMap::new();
+        for _ in 0..count {
+            let member = MemberId(get_u64(buf)?);
+            let lost = get_u64(buf)?;
+            let seen = get_u64(buf)?;
+            observed.insert(member, (lost, seen));
+        }
+        Some(LossEstimator { observed })
+    }
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@ use crate::engine::{
 use crate::{DurationClass, Join};
 use rand::RngCore;
 use rekey_crypto::Key;
+use rekey_keytree::message::codec::{get_u32, get_u64, put_u32, put_u64};
 use rekey_keytree::message::RekeyMessage;
 use rekey_keytree::queue::KeyQueue;
 use rekey_keytree::server::LkhServer;
@@ -105,6 +106,33 @@ impl PlacementPolicy for TtPolicy {
             self.s_keys.insert(j.member, j.individual_key.clone());
         }
         Ok(())
+    }
+
+    fn save_policy_state(&self, buf: &mut Vec<u8>) {
+        // One record per S-member: join epoch + individual key.
+        // `s_ages` and `s_keys` always share a keyset (inserted and
+        // removed together); `k` is configuration, not state.
+        put_u32(buf, self.s_ages.len() as u32);
+        for (&member, &joined) in &self.s_ages {
+            put_u64(buf, member.0);
+            put_u64(buf, joined);
+            buf.extend_from_slice(self.s_keys[&member].as_bytes());
+        }
+    }
+
+    fn load_policy_state(&mut self, buf: &mut &[u8]) -> Option<()> {
+        let count = get_u32(buf)?;
+        self.s_ages.clear();
+        self.s_keys.clear();
+        for _ in 0..count {
+            let member = MemberId(get_u64(buf)?);
+            let joined = get_u64(buf)?;
+            let (key, rest) = buf.split_first_chunk::<32>()?;
+            *buf = rest;
+            self.s_ages.insert(member, joined);
+            self.s_keys.insert(member, Key::from_bytes(*key));
+        }
+        Some(())
     }
 }
 
@@ -280,6 +308,17 @@ impl PlacementPolicy for QtPolicy {
                 .map(|s| vec![s.member])
                 .unwrap_or_default()
         })
+    }
+
+    fn save_policy_state(&self, buf: &mut Vec<u8>) {
+        self.queue.encode_into(buf);
+    }
+
+    fn load_policy_state(&mut self, buf: &mut &[u8]) -> Option<()> {
+        let queue = KeyQueue::decode(buf)?;
+        // The namespace is fixed at construction; a blob from a
+        // differently-configured manager must not graft on.
+        (queue.namespace() == self.queue.namespace()).then(|| self.queue = queue)
     }
 }
 

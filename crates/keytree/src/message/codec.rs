@@ -44,32 +44,37 @@ pub const BLOCK_HEADER_LEN: usize = 1 + 4;
 /// count.
 pub const MESSAGE_HEADER_LEN: usize = 1 + 8 + 4;
 
+/// Appends a big-endian `u64` (shared by the durable-state codecs).
 #[inline]
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_be_bytes());
 }
 
+/// Appends a big-endian `u32`.
 #[inline]
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_be_bytes());
 }
 
+/// Reads a big-endian `u64`, advancing `buf`; `None` on truncation.
 #[inline]
-fn get_u64(buf: &mut &[u8]) -> Option<u64> {
+pub fn get_u64(buf: &mut &[u8]) -> Option<u64> {
     let (head, rest) = buf.split_first_chunk::<8>()?;
     *buf = rest;
     Some(u64::from_be_bytes(*head))
 }
 
+/// Reads a big-endian `u32`, advancing `buf`; `None` on truncation.
 #[inline]
-fn get_u32(buf: &mut &[u8]) -> Option<u32> {
+pub fn get_u32(buf: &mut &[u8]) -> Option<u32> {
     let (head, rest) = buf.split_first_chunk::<4>()?;
     *buf = rest;
     Some(u32::from_be_bytes(*head))
 }
 
+/// Reads one byte, advancing `buf`; `None` on truncation.
 #[inline]
-fn get_u8(buf: &mut &[u8]) -> Option<u8> {
+pub fn get_u8(buf: &mut &[u8]) -> Option<u8> {
     let (&head, rest) = buf.split_first()?;
     *buf = rest;
     Some(head)

@@ -11,9 +11,13 @@
 //! their join epochs so the manager can migrate members older than the
 //! S-period to the L-partition.
 
+use crate::message::codec::{get_u32, get_u64, get_u8, put_u32, put_u64};
 use crate::{KeyTreeError, MemberId, NodeId};
 use rekey_crypto::Key;
 use std::collections::{HashMap, VecDeque};
+
+/// Version byte leading a serialized [`KeyQueue`].
+pub const QUEUE_WIRE_VERSION: u8 = 1;
 
 /// One member's slot in the queue.
 #[derive(Debug, Clone)]
@@ -155,6 +159,60 @@ impl KeyQueue {
     /// All queued member ids, in arrival order.
     pub fn members(&self) -> Vec<MemberId> {
         self.iter().map(|slot| slot.member).collect()
+    }
+
+    /// Serializes the queue onto `buf`: namespace, id counter, and the
+    /// live slots in arrival order (the order [`KeyQueue::iter`]
+    /// yields, which is the order rekey entries are addressed in).
+    /// Stale arrival-order entries are compacted away, which never
+    /// changes observable behaviour.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.push(QUEUE_WIRE_VERSION);
+        put_u32(buf, self.namespace);
+        put_u64(buf, self.next_counter);
+        put_u32(buf, self.len() as u32);
+        for slot in self.iter() {
+            put_u64(buf, slot.member.0);
+            put_u64(buf, slot.node.0);
+            buf.extend_from_slice(slot.individual_key.as_bytes());
+            put_u64(buf, slot.joined_epoch);
+        }
+    }
+
+    /// Decodes a queue serialized by [`KeyQueue::encode_into`],
+    /// advancing `buf` past it. Returns `None` on truncation, an
+    /// unknown version, or a duplicate member.
+    pub fn decode(buf: &mut &[u8]) -> Option<KeyQueue> {
+        if get_u8(buf)? != QUEUE_WIRE_VERSION {
+            return None;
+        }
+        let namespace = get_u32(buf)?;
+        let next_counter = get_u64(buf)?;
+        let len = get_u32(buf)? as usize;
+        let mut queue = KeyQueue {
+            namespace,
+            next_counter,
+            by_member: HashMap::with_capacity(len),
+            arrival_order: VecDeque::with_capacity(len),
+        };
+        for _ in 0..len {
+            let member = MemberId(get_u64(buf)?);
+            let node = NodeId(get_u64(buf)?);
+            let (key_bytes, rest) = buf.split_first_chunk::<32>()?;
+            *buf = rest;
+            let joined_epoch = get_u64(buf)?;
+            let slot = QueueSlot {
+                member,
+                node,
+                individual_key: Key::from_bytes(*key_bytes),
+                joined_epoch,
+            };
+            if queue.by_member.insert(member, slot).is_some() {
+                return None;
+            }
+            queue.arrival_order.push_back(member);
+        }
+        Some(queue)
     }
 }
 

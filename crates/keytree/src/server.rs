@@ -44,6 +44,7 @@
 //! clock shows up in traces whenever a recorder is installed — and
 //! costs one atomic load per phase when none is.
 
+use crate::message::codec::{get_u64, get_u8, put_u64};
 use crate::message::{RekeyEntry, RekeyMessage};
 use crate::tree::KeyTree;
 use crate::{KeyTreeError, MemberId, NodeId};
@@ -232,6 +233,9 @@ pub struct LkhServer {
     scratch: RekeyScratch,
 }
 
+/// Version byte leading a serialized [`LkhServer`].
+pub const SERVER_WIRE_VERSION: u8 = 1;
+
 impl LkhServer {
     /// Creates a server managing an empty key tree of the given degree,
     /// drawing node ids from `namespace`.
@@ -250,6 +254,35 @@ impl LkhServer {
             parallelism: 1,
             scratch: RekeyScratch::default(),
         }
+    }
+
+    /// Serializes the server's durable state — epoch plus the full
+    /// logical tree — onto `buf` (see [`KeyTree::encode_into`]).
+    ///
+    /// Parallelism and the scratch arena are runtime tuning, not
+    /// state: a decoded server at any worker count emits the same
+    /// bytes, so neither is serialized.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.push(SERVER_WIRE_VERSION);
+        put_u64(buf, self.epoch);
+        self.tree.encode_into(buf);
+    }
+
+    /// Decodes a server serialized by [`LkhServer::encode_into`],
+    /// advancing `buf` past it. Returns `None` on truncation, an
+    /// unknown version, or an invalid embedded tree.
+    pub fn decode(buf: &mut &[u8]) -> Option<LkhServer> {
+        if get_u8(buf)? != SERVER_WIRE_VERSION {
+            return None;
+        }
+        let epoch = get_u64(buf)?;
+        let tree = KeyTree::decode(buf)?;
+        Some(LkhServer {
+            tree,
+            epoch,
+            parallelism: 1,
+            scratch: RekeyScratch::default(),
+        })
     }
 
     /// Sets the worker count for the encryption phase of batch

@@ -12,10 +12,14 @@
 //! list of surviving *dirty* ancestors whose keys must be refreshed;
 //! [`crate::server::LkhServer`] turns those into rekey messages.
 
+use crate::message::codec::{get_u32, get_u64, get_u8, put_u32, put_u64};
 use crate::{KeyTreeError, MemberId, NodeId};
 use rand::RngCore;
 use rekey_crypto::Key;
 use std::collections::HashMap;
+
+/// Version byte leading a serialized [`KeyTree`].
+pub const TREE_WIRE_VERSION: u8 = 1;
 
 /// One node of the key tree.
 #[derive(Debug, Clone)]
@@ -514,6 +518,149 @@ impl KeyTree {
             walk = self.node(idx).parent;
         }
         Ok(dirty)
+    }
+
+    /// Serializes the tree's *logical* state onto `buf`: degree,
+    /// namespace, id counter, and every live node (id, member, key,
+    /// version) in breadth-first order with per-parent child order
+    /// preserved.
+    ///
+    /// Child order is semantically significant — insertion descends
+    /// into the first lightest subtree and batch planning walks
+    /// children in order, so a decoded tree reproduces the original's
+    /// future behaviour byte for byte. Physical slot indices and the
+    /// free list are *not* serialized; they never influence decisions.
+    ///
+    /// The format follows the `message::codec` conventions: a leading
+    /// version byte ([`TREE_WIRE_VERSION`]) and big-endian integers.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.push(TREE_WIRE_VERSION);
+        put_u32(buf, self.degree as u32);
+        put_u32(buf, self.namespace);
+        put_u64(buf, self.next_counter);
+        put_u32(buf, self.node_count() as u32);
+        // Breadth-first walk; each record names its parent by the
+        // parent's position in this stream (u32::MAX for the root).
+        let mut order: Vec<usize> = Vec::with_capacity(self.node_count());
+        let mut pos_of: HashMap<usize, u32> = HashMap::with_capacity(self.node_count());
+        order.push(self.root);
+        pos_of.insert(self.root, 0);
+        let mut at = 0;
+        while at < order.len() {
+            let idx = order[at];
+            let n = self.node(idx);
+            let parent_pos = n.parent.map(|p| pos_of[&p]).unwrap_or(u32::MAX);
+            put_u64(buf, n.id.0);
+            put_u32(buf, parent_pos);
+            match n.member {
+                Some(m) => {
+                    buf.push(1);
+                    put_u64(buf, m.0);
+                }
+                None => buf.push(0),
+            }
+            buf.extend_from_slice(n.key.as_bytes());
+            put_u64(buf, n.version);
+            for &c in &n.children {
+                pos_of.insert(c, order.len() as u32);
+                order.push(c);
+            }
+            at += 1;
+        }
+    }
+
+    /// Decodes a tree serialized by [`KeyTree::encode_into`],
+    /// advancing `buf` past it. Returns `None` on truncation, an
+    /// unknown version, or a structurally invalid node table (bad
+    /// parent reference, duplicate id/member, leaf with children,
+    /// root marked as a leaf).
+    pub fn decode(buf: &mut &[u8]) -> Option<KeyTree> {
+        if get_u8(buf)? != TREE_WIRE_VERSION {
+            return None;
+        }
+        let degree = get_u32(buf)? as usize;
+        if degree < 2 {
+            return None;
+        }
+        let namespace = get_u32(buf)?;
+        let next_counter = get_u64(buf)?;
+        let count = get_u32(buf)? as usize;
+        if count == 0 {
+            return None;
+        }
+        let mut tree = KeyTree {
+            degree,
+            namespace,
+            slots: Vec::with_capacity(count),
+            free: Vec::new(),
+            index_of: HashMap::with_capacity(count),
+            leaf_of: HashMap::new(),
+            root: 0,
+            next_counter,
+        };
+        for i in 0..count {
+            let id = NodeId(get_u64(buf)?);
+            let parent_pos = get_u32(buf)?;
+            let parent = if parent_pos == u32::MAX {
+                // Only the first record may be the root.
+                if i != 0 {
+                    return None;
+                }
+                None
+            } else {
+                // Breadth-first order: parents strictly precede their
+                // children in the stream.
+                if parent_pos as usize >= i {
+                    return None;
+                }
+                Some(parent_pos as usize)
+            };
+            let member = match get_u8(buf)? {
+                0 => None,
+                1 => Some(MemberId(get_u64(buf)?)),
+                _ => return None,
+            };
+            if i == 0 && member.is_some() {
+                return None; // the root is never a leaf
+            }
+            let (key_bytes, rest) = buf.split_first_chunk::<32>()?;
+            *buf = rest;
+            let version = get_u64(buf)?;
+            if tree.index_of.insert(id, i).is_some() {
+                return None;
+            }
+            if let Some(m) = member {
+                if tree.leaf_of.insert(m, id).is_some() {
+                    return None;
+                }
+            }
+            if let Some(p) = parent {
+                let parent_node = tree.slots[p].as_mut()?;
+                if parent_node.member.is_some() {
+                    return None; // leaves have no children
+                }
+                parent_node.children.push(i);
+            }
+            tree.slots.push(Some(Node {
+                id,
+                parent,
+                children: Vec::new(),
+                member,
+                key: Key::from_bytes(*key_bytes),
+                version,
+                leaf_count: usize::from(member.is_some()),
+            }));
+        }
+        // Children appear after their parents, so one reverse sweep
+        // settles every subtree leaf count.
+        for i in (1..count).rev() {
+            let (leaves, parent) = {
+                let n = tree.slots[i].as_ref()?;
+                (n.leaf_count, n.parent?)
+            };
+            tree.slots[parent].as_mut()?.leaf_count += leaves;
+        }
+        Some(tree)
     }
 
     /// Verifies internal structural invariants; used by tests.

@@ -156,6 +156,22 @@ impl RekeyClient {
         self.digest.clone().finalize()
     }
 
+    /// Points the client at a different server address, dropping any
+    /// live connection. All epoch state (next wanted epoch, digest,
+    /// pending buffer) is kept: the next poll connects to the new
+    /// address, re-authenticates, and NACKs whatever is missing — the
+    /// recovery path a client takes when a crashed daemon restarts on
+    /// a new port.
+    pub fn redirect(&mut self, addr: SocketAddr) {
+        self.addr = addr;
+        self.conn = None;
+        // A Bye from the old (crashed or drained) server is void: the
+        // new address is a new stream.
+        self.server_closed = false;
+        self.backoff.reset();
+        rekey_obs::count("net.client.redirects", 1);
+    }
+
     /// Drops the connection without telling the server — simulates a
     /// crash mid-epoch. The next poll reconnects and NACKs the gap.
     pub fn inject_disconnect(&mut self) {

@@ -1,0 +1,200 @@
+//! Record framing shared by every backend.
+//!
+//! A framed WAL record is:
+//!
+//! ```text
+//! [version: u8 = 1][len: u32 BE][crc32: u32 BE over payload][payload]
+//! ```
+//!
+//! and a sealed snapshot blob is the same header around one payload.
+//! The CRC is IEEE CRC-32 (the ubiquitous reflected 0xEDB88320
+//! polynomial). Parsing stops at the first record whose header is
+//! short, whose declared length exceeds the remaining bytes, whose
+//! version is unknown, or whose checksum does not match — everything
+//! before that point is returned; everything after is a torn tail to
+//! be discarded. Big-endian integers and a leading version byte follow
+//! the `rekey_keytree::message::codec` conventions.
+
+use crate::StorageError;
+
+/// Framing version of records and snapshot seals.
+pub const WAL_VERSION: u8 = 1;
+
+/// Bytes of framing per record: version + length + checksum.
+pub const RECORD_HEADER_LEN: usize = 1 + 4 + 4;
+
+/// IEEE CRC-32 of `bytes` (reflected polynomial 0xEDB88320),
+/// table-free bitwise form: the WAL appends are fsync-bound, so the
+/// checksum is never the bottleneck.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Appends the framed form of `record` onto `out`.
+pub fn frame_record(record: &[u8], out: &mut Vec<u8>) {
+    out.push(WAL_VERSION);
+    out.extend_from_slice(&(record.len() as u32).to_be_bytes());
+    out.extend_from_slice(&crc32(record).to_be_bytes());
+    out.extend_from_slice(record);
+}
+
+/// Parses a framed stream: `(records, valid_len)` where `valid_len`
+/// is the byte offset just past the last intact record. Never fails —
+/// malformed framing simply ends the valid prefix.
+pub fn parse_records(bytes: &[u8]) -> (Vec<Vec<u8>>, usize) {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    while bytes.len() - at >= RECORD_HEADER_LEN {
+        if bytes[at] != WAL_VERSION {
+            break;
+        }
+        let len = u32::from_be_bytes(bytes[at + 1..at + 5].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_be_bytes(bytes[at + 5..at + 9].try_into().expect("4 bytes"));
+        let payload_start = at + RECORD_HEADER_LEN;
+        let Some(payload_end) = payload_start.checked_add(len) else {
+            break;
+        };
+        if payload_end > bytes.len() {
+            break;
+        }
+        let payload = &bytes[payload_start..payload_end];
+        if crc32(payload) != crc {
+            break;
+        }
+        records.push(payload.to_vec());
+        at = payload_end;
+    }
+    (records, at)
+}
+
+/// Seals a snapshot blob with the same version/length/CRC header.
+pub fn seal_snapshot(blob: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_HEADER_LEN + blob.len());
+    frame_record(blob, &mut out);
+    out
+}
+
+/// Verifies and strips a snapshot seal.
+///
+/// # Errors
+///
+/// [`StorageError::BadVersion`] on an unknown version byte,
+/// [`StorageError::SnapshotCorrupt`] on truncation or CRC mismatch.
+pub fn unseal_snapshot(sealed: &[u8]) -> Result<Vec<u8>, StorageError> {
+    if sealed.len() < RECORD_HEADER_LEN {
+        return Err(StorageError::SnapshotCorrupt {
+            reason: "shorter than the seal header",
+        });
+    }
+    if sealed[0] != WAL_VERSION {
+        return Err(StorageError::BadVersion { found: sealed[0] });
+    }
+    let len = u32::from_be_bytes(sealed[1..5].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_be_bytes(sealed[5..9].try_into().expect("4 bytes"));
+    let payload = &sealed[RECORD_HEADER_LEN..];
+    if payload.len() != len {
+        return Err(StorageError::SnapshotCorrupt {
+            reason: "declared length does not match the blob",
+        });
+    }
+    if crc32(payload) != crc {
+        return Err(StorageError::SnapshotCorrupt {
+            reason: "checksum mismatch",
+        });
+    }
+    Ok(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The classic check value for IEEE CRC-32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_and_parse_round_trip() {
+        let mut stream = Vec::new();
+        frame_record(b"", &mut stream);
+        frame_record(b"hello", &mut stream);
+        frame_record(&[0u8; 1000], &mut stream);
+        let (records, valid) = parse_records(&stream);
+        assert_eq!(valid, stream.len());
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0], b"");
+        assert_eq!(records[1], b"hello");
+        assert_eq!(records[2], vec![0u8; 1000]);
+    }
+
+    #[test]
+    fn every_possible_tear_point_parses_cleanly() {
+        let mut stream = Vec::new();
+        frame_record(b"first", &mut stream);
+        frame_record(b"second", &mut stream);
+        let first_len = RECORD_HEADER_LEN + 5;
+        for cut in 0..stream.len() {
+            let (records, valid) = parse_records(&stream[..cut]);
+            if cut >= first_len {
+                assert_eq!(records, vec![b"first".to_vec()], "cut at {cut}");
+                assert_eq!(valid, first_len);
+            } else {
+                assert!(records.is_empty(), "cut at {cut}");
+                assert_eq!(valid, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_version_ends_the_prefix() {
+        let mut stream = Vec::new();
+        frame_record(b"ok", &mut stream);
+        let tail_start = stream.len();
+        frame_record(b"bad", &mut stream);
+        stream[tail_start] = 9; // future framing version
+        let (records, valid) = parse_records(&stream);
+        assert_eq!(records, vec![b"ok".to_vec()]);
+        assert_eq!(valid, tail_start);
+    }
+
+    #[test]
+    fn snapshot_seal_round_trip_and_rejection() {
+        let sealed = seal_snapshot(b"state");
+        assert_eq!(unseal_snapshot(&sealed).unwrap(), b"state");
+
+        let mut bad_crc = sealed.clone();
+        let last = bad_crc.len() - 1;
+        bad_crc[last] ^= 1;
+        assert!(matches!(
+            unseal_snapshot(&bad_crc),
+            Err(StorageError::SnapshotCorrupt { .. })
+        ));
+
+        let mut bad_version = sealed.clone();
+        bad_version[0] = 7;
+        assert!(matches!(
+            unseal_snapshot(&bad_version),
+            Err(StorageError::BadVersion { found: 7 })
+        ));
+
+        assert!(matches!(
+            unseal_snapshot(&sealed[..4]),
+            Err(StorageError::SnapshotCorrupt { .. })
+        ));
+        assert!(matches!(
+            unseal_snapshot(&sealed[..sealed.len() - 1]),
+            Err(StorageError::SnapshotCorrupt { .. })
+        ));
+    }
+}

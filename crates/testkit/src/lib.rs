@@ -23,6 +23,9 @@
 //!   replayable counterexample.
 //! - [`bugs`] — deliberately defective manager wrappers proving the
 //!   oracle catches the bug classes it targets.
+//! - [`crashsim`] — crash/recovery equivalence: scenarios journaled to
+//!   an in-memory [`rekey_storage::Storage`], killed and recovered on
+//!   a schedule, must reproduce the uninterrupted run byte-for-byte.
 //!
 //! [`GroupMember`]: rekey_keytree::member::GroupMember
 
@@ -30,11 +33,13 @@
 #![warn(missing_docs)]
 
 pub mod bugs;
+pub mod crashsim;
 pub mod farm;
 pub mod oracle;
 pub mod runner;
 pub mod scenario;
 
+pub use crashsim::{run_with_crashes, CrashSimReport};
 pub use farm::{Delivery, FarmError, MemberFarm};
 pub use oracle::KnowledgeOracle;
 pub use runner::{run_scenario, shrink, RunOptions, RunStats, ShrinkReport, Violation};
