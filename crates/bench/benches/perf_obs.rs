@@ -72,44 +72,12 @@ fn bench_probes(state: &'static str, rows: &mut Vec<Row>) {
     });
 }
 
-/// JSON string escape for host-context fields.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// `rustc --version` of the toolchain on PATH, or "unknown".
-fn rustc_version() -> String {
-    std::process::Command::new("rustc")
-        .arg("--version")
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|v| v.trim().to_string())
-        .unwrap_or_else(|| "unknown".to_string())
-}
-
 fn main() {
-    let cores = std::thread::available_parallelism()
-        .map(|c| c.get())
-        .unwrap_or(1);
-    let timestamp = std::env::var("BENCH_TIMESTAMP").ok();
-    let rustc = rustc_version();
-    println!("observability probe bench ({cores} core(s), {rustc})");
+    let host = rekey_bench::emit::HostContext::detect();
+    println!(
+        "observability probe bench ({} core(s), {})",
+        host.available_parallelism, host.rustc
+    );
 
     let mut rows: Vec<Row> = Vec::new();
 
@@ -153,16 +121,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"perf_obs\",");
-    json.push_str("  \"host\": {\n");
-    let _ = writeln!(json, "    \"available_parallelism\": {cores},");
-    let _ = writeln!(json, "    \"rustc\": \"{}\",", json_escape(&rustc));
-    match &timestamp {
-        Some(ts) => {
-            let _ = writeln!(json, "    \"timestamp\": \"{}\"", json_escape(ts));
-        }
-        None => json.push_str("    \"timestamp\": null\n"),
-    }
-    json.push_str("  },\n");
+    host.push_json(&mut json, &[]);
     let _ = writeln!(json, "  \"reps_per_point\": {REPS},");
     let _ = writeln!(json, "  \"iters_per_rep\": {ITERS},");
     json.push_str("  \"results\": [\n");

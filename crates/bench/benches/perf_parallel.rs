@@ -139,49 +139,14 @@ fn forest_churn(n: u64) -> (Vec<Join>, Vec<MemberId>) {
     (joins, leavers)
 }
 
-/// JSON string escape for the host-context fields (they come from the
-/// environment, not from us).
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// `rustc --version` of the toolchain on PATH (the one that built this
-/// bench under `cargo bench`), or "unknown".
-fn rustc_version() -> String {
-    std::process::Command::new("rustc")
-        .arg("--version")
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|v| v.trim().to_string())
-        .unwrap_or_else(|| "unknown".to_string())
-}
-
 fn main() {
-    let cores = std::thread::available_parallelism()
-        .map(|c| c.get())
-        .unwrap_or(1);
-    // Timestamps are passed in (e.g. `BENCH_TIMESTAMP=$(date -u -Is)`)
-    // rather than computed, so reruns on fixed inputs stay reproducible.
-    let timestamp = std::env::var("BENCH_TIMESTAMP").ok();
-    let rustc = rustc_version();
+    let host = rekey_bench::emit::HostContext::detect();
+    let cores = host.available_parallelism;
     let (sweep, sweep_capped) = worker_counts(cores);
-    println!("parallel rekey engine bench ({cores} core(s) available, {rustc})");
+    println!(
+        "parallel rekey engine bench ({cores} core(s) available, {})",
+        host.rustc
+    );
     println!(
         "worker sweep: {sweep:?}{}",
         if sweep_capped {
@@ -295,29 +260,20 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"perf_parallel\",");
-    json.push_str("  \"host\": {\n");
-    let _ = writeln!(json, "    \"available_parallelism\": {cores},");
-    let _ = writeln!(
-        json,
-        "    \"worker_sweep\": [{}],",
-        sweep
-            .iter()
-            .map(|w| w.to_string())
-            .collect::<Vec<_>>()
-            .join(", ")
+    host.push_json(
+        &mut json,
+        &[
+            format!(
+                "    \"worker_sweep\": [{}],",
+                sweep
+                    .iter()
+                    .map(|w| w.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            format!("    \"worker_sweep_capped_at_cores\": {sweep_capped},"),
+        ],
     );
-    let _ = writeln!(
-        json,
-        "    \"worker_sweep_capped_at_cores\": {sweep_capped},"
-    );
-    let _ = writeln!(json, "    \"rustc\": \"{}\",", json_escape(&rustc));
-    match &timestamp {
-        Some(ts) => {
-            let _ = writeln!(json, "    \"timestamp\": \"{}\"", json_escape(ts));
-        }
-        None => json.push_str("    \"timestamp\": null\n"),
-    }
-    json.push_str("  },\n");
     let _ = writeln!(json, "  \"host_cores\": {cores},");
     let _ = writeln!(json, "  \"reps_per_point\": {REPS},");
     json.push_str("  \"results\": [\n");

@@ -218,42 +218,12 @@ fn scratch_dir(tag: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!("rekey-perf-persist-{tag}-{}", std::process::id()))
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn rustc_version() -> String {
-    std::process::Command::new("rustc")
-        .arg("--version")
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|v| v.trim().to_string())
-        .unwrap_or_else(|| "unknown".to_string())
-}
-
 fn main() {
-    let cores = std::thread::available_parallelism()
-        .map(|c| c.get())
-        .unwrap_or(1);
-    let timestamp = std::env::var("BENCH_TIMESTAMP").ok();
-    let rustc = rustc_version();
-    println!("persistence bench ({cores} core(s), {rustc})");
+    let host = rekey_bench::emit::HostContext::detect();
+    println!(
+        "persistence bench ({} core(s), {})",
+        host.available_parallelism, host.rustc
+    );
 
     let mut rng = StdRng::seed_from_u64(11);
     let wal = bench_wal(&mut rng);
@@ -279,16 +249,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"perf_persist\",");
-    json.push_str("  \"host\": {\n");
-    let _ = writeln!(json, "    \"available_parallelism\": {cores},");
-    let _ = writeln!(json, "    \"rustc\": \"{}\",", json_escape(&rustc));
-    match &timestamp {
-        Some(ts) => {
-            let _ = writeln!(json, "    \"timestamp\": \"{}\"", json_escape(ts));
-        }
-        None => json.push_str("    \"timestamp\": null\n"),
-    }
-    json.push_str("  },\n");
+    host.push_json(&mut json, &[]);
     let _ = writeln!(json, "  \"reps_per_point\": {REPS},");
     json.push_str("  \"wal\": [\n");
     for (i, r) in wal.iter().enumerate() {

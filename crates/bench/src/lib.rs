@@ -10,6 +10,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod emit;
+
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;

@@ -46,6 +46,27 @@
 //!     failure the counterexample is shrunk and a replay command is
 //!     printed.
 //!
+//! rekey workload  [--generator uniform|diurnal|flash-crowd|mobile-flap|
+//!                  regional-loss|all|g1,g2,...]
+//!                 [--scheme one|tt|qt|pt|forest|combined|adaptive|all|s1,s2,...]
+//!                 [--seed 1] [--intervals 200]
+//!                 [--loss lossless|bernoulli|wka] [--workers 1]
+//!                 [--d 4] [--k 3] [--sweep] [--out BENCH_workloads.json]
+//!                 [--dump-dir DIR] [--trace FILE]
+//!     Run named trace-driven workloads (diurnal curves, flash crowds,
+//!     mobile flap, correlated regional loss, plus the fuzzer's
+//!     uniform churn) against the key schemes, with the full oracle +
+//!     member-farm invariant suite live, and report bandwidth
+//!     (multicast bytes/interval), rekey latency percentiles, and peak
+//!     tree size per (generator, scheme) cell. `--sweep` runs every
+//!     generator against every scheme, dumps one replayable trace file
+//!     per generator (default `target/workloads/`, verified to decode
+//!     back byte-identically), and writes the results with host
+//!     context to `--out` (default `BENCH_workloads.json`). `--trace`
+//!     replays a previously dumped trace file instead of generating:
+//!     the file is validated (magic, version, membership consistency)
+//!     and runs byte-identically to the run that dumped it.
+//!
 //! rekey serve     [--addr 127.0.0.1:0] [--scheme tt] [--d 4] [--k 10]
 //!                 [--members 16] [--intervals 50] [--seed 42]
 //!                 [--key-seed 7] [--period-ms 200] [--net-workers 2]
@@ -129,7 +150,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str =
-    "usage: rekey <model|simulate|recommend|transport|trace-check|fuzz|serve|client|top|metrics-check|snapshot|simd> [--flag value ...]
+    "usage: rekey <model|simulate|recommend|transport|trace-check|fuzz|workload|serve|client|top|metrics-check|snapshot|simd> [--flag value ...]
 run `rekey help` or see the crate docs for the full flag list";
 
 fn main() -> ExitCode {
@@ -147,6 +168,7 @@ fn main() -> ExitCode {
         Some("transport") => cmd_transport(&args),
         Some("trace-check") => cmd_trace_check(&args),
         Some("fuzz") => cmd_fuzz(&args),
+        Some("workload") => cmd_workload(&args),
         Some("serve") => cmd_serve(&args),
         Some("client") => cmd_client(&args),
         Some("top") => cmd_top(&args),
@@ -410,6 +432,239 @@ fn cmd_fuzz(args: &Args) -> CliResult {
 
 fn hex32(bytes: &[u8; 32]) -> String {
     bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Parses a `--scheme` flag that may be a single name, a comma list,
+/// or `all`.
+fn parse_scheme_list(spec: &str) -> Result<Vec<Scheme>, Box<dyn std::error::Error>> {
+    if spec == "all" {
+        return Ok(Scheme::ALL.to_vec());
+    }
+    spec.split(',')
+        .map(|name| name.trim().parse::<Scheme>().map_err(Into::into))
+        .collect()
+}
+
+/// One (generator, scheme) cell of a workload run or sweep.
+struct WorkloadCell {
+    generator: String,
+    scheme: &'static str,
+    run: rekey_testkit::WorkloadRun,
+    trace_file: Option<String>,
+}
+
+fn print_workload_cell(cell: &WorkloadCell) {
+    let lat = &cell.run.latency_ns;
+    println!(
+        "{:<14} {:<9} peak {:>6} members  {:>9.0} B/interval (max {:>7})  latency p50 {:>8}ns p99 {:>8}ns  digest {}",
+        cell.generator,
+        cell.scheme,
+        cell.run.peak_members,
+        cell.run.mean_interval_bytes,
+        cell.run.max_interval_bytes,
+        lat.quantile(0.5),
+        lat.quantile(0.99),
+        &hex32(&cell.run.stats.digest)[..16],
+    );
+}
+
+/// Runs every scheme in `schemes` over one compiled workload scenario
+/// and appends the measured cells.
+fn run_workload_cells(
+    generator: &str,
+    scenario: &rekey_testkit::Scenario,
+    schemes: &[Scheme],
+    opts: &rekey_testkit::RunOptions,
+    trace_file: Option<&str>,
+    cells: &mut Vec<WorkloadCell>,
+) -> CliResult {
+    for &scheme in schemes {
+        let factory = rekey_testkit::factory_for(scheme);
+        let run = rekey_testkit::run_workload(generator, &factory, scenario, opts)
+            .map_err(|v| format!("{generator}/{}: invariant violation at {v}", scheme.name()))?;
+        let cell = WorkloadCell {
+            generator: generator.to_string(),
+            scheme: scheme.name(),
+            run,
+            trace_file: trace_file.map(str::to_string),
+        };
+        print_workload_cell(&cell);
+        cells.push(cell);
+    }
+    Ok(())
+}
+
+/// Serializes sweep cells (plus host and run config) as
+/// `BENCH_workloads.json`, in the same shape as the other `BENCH_*`
+/// artifacts.
+#[allow(clippy::too_many_arguments)]
+fn write_workload_report(
+    path: &str,
+    cells: &[WorkloadCell],
+    seed: u64,
+    intervals: usize,
+    delivery: rekey_testkit::Delivery,
+    workers: usize,
+    degree: u8,
+    k: u16,
+) -> CliResult {
+    use rekey_bench::emit::{json_escape, HostContext};
+    use std::fmt::Write as _;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"workloads\",");
+    HostContext::detect().push_json(&mut json, &[]);
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"seed\": {seed}, \"intervals\": {intervals}, \"delivery\": \"{}\", \"workers\": {workers}, \"degree\": {degree}, \"k\": {k}}},",
+        delivery.name()
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        let sep = if i + 1 == cells.len() { "" } else { "," };
+        let lat = &cell.run.latency_ns;
+        let trace_file = match &cell.trace_file {
+            Some(f) => format!("\"{}\"", json_escape(f)),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"{}\", \"scheme\": \"{}\", \"intervals\": {}, \"final_members\": {}, \"peak_members\": {}, \"total_entries\": {}, \"total_bytes\": {}, \"bytes_per_interval_mean\": {:.1}, \"max_interval_bytes\": {}, \"latency_ns\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}, \"trace_file\": {trace_file}, \"digest\": \"{}\"}}{sep}",
+            json_escape(&cell.generator),
+            cell.scheme,
+            cell.run.stats.intervals,
+            cell.run.stats.final_members,
+            cell.run.peak_members,
+            cell.run.stats.total_entries,
+            cell.run.stats.total_bytes,
+            cell.run.mean_interval_bytes,
+            cell.run.max_interval_bytes,
+            lat.quantile(0.5),
+            lat.quantile(0.9),
+            lat.quantile(0.99),
+            lat.max(),
+            hex32(&cell.run.stats.digest),
+        );
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(path, &json)?;
+    println!("wrote {path} ({} cells)", cells.len());
+    Ok(())
+}
+
+fn cmd_workload(args: &Args) -> CliResult {
+    use rekey_testkit::{workload_by_name, Delivery, GenParams, RunOptions, Trace, WORKLOAD_NAMES};
+
+    let seed: u64 = args.get_parsed_or("seed", 1u64)?;
+    let intervals: usize = args.get_parsed_or("intervals", 200usize)?;
+    let workers: usize = args.get_parsed_or("workers", 1usize)?;
+    let sweep: bool = args.get_bool_or("sweep", false)?;
+    let loss = args.get_or("loss", "lossless");
+    let delivery =
+        Delivery::parse(&loss).ok_or_else(|| format!("unknown delivery mode {loss:?}"))?;
+    let degree: u8 = args.get_parsed_or("d", 4u8)?;
+    let k: u16 = args.get_parsed_or("k", 3u16)?;
+    let params = GenParams {
+        degree,
+        k,
+        ..GenParams::default()
+    };
+    let opts = RunOptions { delivery, workers };
+    let schemes = parse_scheme_list(&args.get_or("scheme", "all"))?;
+    let out = args.get_or("out", "BENCH_workloads.json");
+    let mut cells: Vec<WorkloadCell> = Vec::new();
+
+    // Replay path: the scenario comes from a dumped trace file, not a
+    // generator. Hand-edited traces are rejected with a typed error
+    // (truncation, bad magic/version, or membership inconsistencies
+    // like a leave of an already-departed member) instead of silently
+    // repaired.
+    if let Some(path) = path_flag(args, "trace")? {
+        let bytes = std::fs::read(&path)?;
+        let trace = Trace::decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        trace
+            .scenario
+            .validate()
+            .map_err(|e| format!("{path}: invalid scenario: {e}"))?;
+        println!(
+            "replaying {path}: generator {}, seed {}, {} churn intervals",
+            trace.generator,
+            trace.scenario.seed,
+            trace.scenario.intervals.len().saturating_sub(1)
+        );
+        run_workload_cells(
+            &trace.generator,
+            &trace.scenario,
+            &schemes,
+            &opts,
+            Some(&path),
+            &mut cells,
+        )?;
+        if sweep {
+            write_workload_report(&out, &cells, seed, intervals, delivery, workers, degree, k)?;
+        }
+        return Ok(());
+    }
+
+    let generator_flag = args.get_or("generator", if sweep { "all" } else { "uniform" });
+    let generators: Vec<String> = if generator_flag == "all" {
+        WORKLOAD_NAMES.iter().map(|n| n.to_string()).collect()
+    } else {
+        generator_flag
+            .split(',')
+            .map(|n| n.trim().to_string())
+            .collect()
+    };
+    // A sweep always dumps the per-generator trace files so every cell
+    // is replayable; ad-hoc runs dump only when asked.
+    let dump_dir = match path_flag(args, "dump-dir")? {
+        Some(dir) => Some(dir),
+        None if sweep => Some("target/workloads".to_string()),
+        None => None,
+    };
+    if let Some(dir) = &dump_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+
+    for generator in &generators {
+        let mut workload = workload_by_name(generator)
+            .ok_or_else(|| format!("unknown workload generator {generator:?}"))?;
+        let scenario = workload.compile(seed, intervals, &params);
+        let trace = Trace {
+            generator: generator.clone(),
+            scenario,
+        };
+        let trace_file = match &dump_dir {
+            Some(dir) => {
+                let path = format!("{dir}/{generator}-seed{seed}.trace.bin");
+                let encoded = trace.encode();
+                std::fs::write(&path, &encoded)?;
+                // Close the loop on the spot: the dumped file must
+                // decode back to the byte-identical trace.
+                let reread = Trace::decode(&std::fs::read(&path)?)
+                    .map_err(|e| format!("{path}: dumped trace failed to decode: {e}"))?;
+                if reread.encode() != encoded {
+                    return Err(format!("{path}: dumped trace did not round-trip").into());
+                }
+                Some(path)
+            }
+            None => None,
+        };
+        run_workload_cells(
+            generator,
+            &trace.scenario,
+            &schemes,
+            &opts,
+            trace_file.as_deref(),
+            &mut cells,
+        )?;
+    }
+
+    if sweep {
+        write_workload_report(&out, &cells, seed, intervals, delivery, workers, degree, k)?;
+    }
+    Ok(())
 }
 
 /// SIGTERM/SIGINT latch for `rekey serve`. The handler only flips an

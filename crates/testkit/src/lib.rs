@@ -26,6 +26,13 @@
 //! - [`crashsim`] — crash/recovery equivalence: scenarios journaled to
 //!   an in-memory [`rekey_storage::Storage`], killed and recovered on
 //!   a schedule, must reproduce the uninterrupted run byte-for-byte.
+//! - [`workload`] — named trace-driven churn generators (`uniform`,
+//!   `diurnal`, `flash-crowd`, `mobile-flap`, `regional-loss`) that
+//!   compile down to [`Scenario`]s, plus an observed runner reporting
+//!   bandwidth, rekey-latency percentiles, and peak tree size.
+//! - [`trace`] — the replayable trace file format: a compiled
+//!   scenario tagged with its generator name, with typed decode
+//!   errors.
 //!
 //! [`GroupMember`]: rekey_keytree::member::GroupMember
 
@@ -38,12 +45,21 @@ pub mod farm;
 pub mod oracle;
 pub mod runner;
 pub mod scenario;
+pub mod trace;
+pub mod workload;
 
 pub use crashsim::{run_with_crashes, CrashSimReport};
 pub use farm::{Delivery, FarmError, MemberFarm};
 pub use oracle::KnowledgeOracle;
-pub use runner::{run_scenario, shrink, RunOptions, RunStats, ShrinkReport, Violation};
-pub use scenario::{GenParams, IntervalOps, JoinOp, Scenario};
+pub use runner::{
+    run_scenario, run_scenario_with, shrink, IntervalObservation, RunOptions, RunStats,
+    ShrinkReport, Violation,
+};
+pub use scenario::{GenParams, IntervalOps, JoinOp, Scenario, ScenarioError};
+pub use trace::{Trace, TraceError};
+pub use workload::{
+    all_workloads, run_workload, workload_by_name, Workload, WorkloadRun, WORKLOAD_NAMES,
+};
 
 use rekey_core::scheme::{Scheme, SchemeConfig};
 use rekey_core::GroupKeyManager;

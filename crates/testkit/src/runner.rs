@@ -77,12 +77,44 @@ pub struct RunStats {
     pub digest: [u8; 32],
 }
 
+/// One interval's measurements, handed to the observer of
+/// [`run_scenario_with`] after the interval's invariant checks pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntervalObservation {
+    /// Index into [`Scenario::intervals`] (0 = bootstrap).
+    pub interval: usize,
+    /// Multicast wire bytes of the interval's rekey message.
+    pub bytes: usize,
+    /// Encrypted-key entries in the message.
+    pub entries: usize,
+    /// Wall-clock nanoseconds spent in
+    /// [`GroupKeyManager::process_interval`] — the server-side rekey
+    /// latency, excluding delivery and oracle bookkeeping.
+    pub process_ns: u64,
+    /// Present members after the interval (the key tree size).
+    pub members: usize,
+}
+
 /// Runs `scenario` against a manager built by `factory` and returns
 /// run statistics, or the first invariant violation.
 pub fn run_scenario(
     factory: &ManagerFactory,
     scenario: &Scenario,
     opts: &RunOptions,
+) -> Result<RunStats, Violation> {
+    run_scenario_with(factory, scenario, opts, &mut |_| {})
+}
+
+/// [`run_scenario`] with a per-interval observer: the workload sweep
+/// uses it to collect bandwidth-per-interval, rekey latency
+/// percentiles, and peak tree size without a second pass. The
+/// observer sees only measurements — verdict and digest are identical
+/// to [`run_scenario`] whatever it does.
+pub fn run_scenario_with(
+    factory: &ManagerFactory,
+    scenario: &Scenario,
+    opts: &RunOptions,
+    observer: &mut dyn FnMut(IntervalObservation),
 ) -> Result<RunStats, Violation> {
     let mut manager = factory(scenario);
     manager.set_parallelism(opts.workers.max(1));
@@ -119,9 +151,11 @@ pub fn run_scenario(
             farm.set_loss(MemberId(m), loss);
         }
 
+        let started = std::time::Instant::now();
         let out = manager
             .process_interval(&joins, &leaves, &mut churn_rng)
             .map_err(|e| fail(format!("manager rejected batch: {e}")))?;
+        let process_ns = started.elapsed().as_nanos() as u64;
 
         let bytes = codec::encode_message(&out.message);
         hasher.update(&bytes);
@@ -139,6 +173,14 @@ pub fn run_scenario(
             .map_err(|e| fail(e.to_string()))?;
         farm.check(&oracle, manager.as_ref(), &report, complete)
             .map_err(|e| fail(e.to_string()))?;
+
+        observer(IntervalObservation {
+            interval,
+            bytes: bytes.len(),
+            entries: out.message.encrypted_key_count(),
+            process_ns,
+            members: farm.present().len(),
+        });
     }
 
     Ok(RunStats {

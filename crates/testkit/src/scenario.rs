@@ -250,8 +250,13 @@ impl Scenario {
 
     /// Re-validates op ordering after arbitrary op removal (used by
     /// the shrinker): drops leaves and loss changes that reference
-    /// members no longer joined, and duplicate joins. The result is a
-    /// scenario any manager accepts.
+    /// members no longer joined — including a leave of a member
+    /// already departed earlier in the *same* interval — and duplicate
+    /// joins. The result is a scenario any manager accepts.
+    ///
+    /// Sanitizing silently *repairs*; replay paths that must not mask
+    /// a hand-edited trace's mistakes should call
+    /// [`Scenario::validate`] first and surface the typed error.
     pub fn sanitize(&mut self) {
         let mut joined = std::collections::BTreeSet::new();
         let mut present = std::collections::BTreeSet::new();
@@ -264,7 +269,118 @@ impl Scenario {
             iv.loss_changes.retain(|(m, _)| present.contains(m));
         }
     }
+
+    /// Checks the validity-by-construction invariants without
+    /// repairing anything, pinning the first offending op.
+    ///
+    /// Generated scenarios always pass; the point is *replayed* traces
+    /// that were hand-edited after dumping — a leave of a member
+    /// already departed in the same interval (or never admitted), a
+    /// duplicate join, a loss change for an absent member — which used
+    /// to slip through to the manager because replay relied on
+    /// validity-by-construction.
+    ///
+    /// Leaves are checked against the pre-interval membership, exactly
+    /// as managers apply them: a leave of a member joining in the same
+    /// interval is invalid.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ScenarioError`] for the first invalid op in
+    /// interval order.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let mut joined = std::collections::BTreeSet::new();
+        let mut present = std::collections::BTreeSet::new();
+        for (interval, iv) in self.intervals.iter().enumerate() {
+            for &member in &iv.leaves {
+                if !present.remove(&member) {
+                    return Err(if joined.contains(&member) {
+                        ScenarioError::LeaveOfDeparted { interval, member }
+                    } else {
+                        ScenarioError::LeaveOfUnknown { interval, member }
+                    });
+                }
+            }
+            for j in &iv.joins {
+                if !joined.insert(j.member) {
+                    return Err(ScenarioError::DuplicateJoin {
+                        interval,
+                        member: j.member,
+                    });
+                }
+                present.insert(j.member);
+            }
+            for &(member, _) in &iv.loss_changes {
+                if !present.contains(&member) {
+                    return Err(ScenarioError::LossChangeOfAbsent { interval, member });
+                }
+            }
+        }
+        Ok(())
+    }
 }
+
+/// A validity violation found by [`Scenario::validate`], pinned to the
+/// first offending op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// A leave names a member that already departed — earlier in the
+    /// same interval (a duplicated leave) or in a previous one.
+    LeaveOfDeparted {
+        /// Interval index of the offending leave.
+        interval: usize,
+        /// The already-departed member.
+        member: u64,
+    },
+    /// A leave names a member never admitted before the interval
+    /// (including a member joining only in the same interval: managers
+    /// apply leaves against the pre-interval membership).
+    LeaveOfUnknown {
+        /// Interval index of the offending leave.
+        interval: usize,
+        /// The unknown member.
+        member: u64,
+    },
+    /// A join reuses a member id admitted earlier in the scenario.
+    DuplicateJoin {
+        /// Interval index of the offending join.
+        interval: usize,
+        /// The reused member id.
+        member: u64,
+    },
+    /// A loss change names a member not present after the interval's
+    /// joins and leaves.
+    LossChangeOfAbsent {
+        /// Interval index of the offending loss change.
+        interval: usize,
+        /// The absent member.
+        member: u64,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::LeaveOfDeparted { interval, member } => write!(
+                f,
+                "interval {interval}: leave of member {member} already departed"
+            ),
+            ScenarioError::LeaveOfUnknown { interval, member } => write!(
+                f,
+                "interval {interval}: leave of member {member} never admitted before the interval"
+            ),
+            ScenarioError::DuplicateJoin { interval, member } => {
+                write!(f, "interval {interval}: duplicate join of member {member}")
+            }
+            ScenarioError::LossChangeOfAbsent { interval, member } => write!(
+                f,
+                "interval {interval}: loss change for absent member {member}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
 
 const MAGIC: &[u8] = b"RKSC";
 const VERSION: u8 = 1;
@@ -331,6 +447,97 @@ mod tests {
         assert!(s.intervals.iter().any(|iv| !iv.leaves.is_empty()));
         assert!(s.intervals.iter().any(|iv| iv.leaves.is_empty()));
         assert!(s.intervals.iter().any(|iv| !iv.loss_changes.is_empty()));
+    }
+
+    #[test]
+    fn validate_accepts_generated_scenarios() {
+        for seed in [0, 9, 77] {
+            Scenario::generate(seed, 50, &GenParams::default())
+                .validate()
+                .expect("generated scenarios are valid by construction");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_leave_in_same_interval() {
+        // Hand-edit a trace: duplicate an existing leave inside its
+        // interval — the replay-path bug class sanitize used to be the
+        // only (silent) guard against.
+        let mut s = Scenario::generate(8, 40, &GenParams::default());
+        let (idx, member) = s
+            .intervals
+            .iter()
+            .enumerate()
+            .find_map(|(i, iv)| iv.leaves.first().map(|&m| (i, m)))
+            .expect("some interval has a leave");
+        s.intervals[idx].leaves.push(member);
+        assert_eq!(
+            s.validate(),
+            Err(ScenarioError::LeaveOfDeparted {
+                interval: idx,
+                member
+            })
+        );
+        // sanitize() repairs the same edit back to the original.
+        let mut repaired = s.clone();
+        repaired.sanitize();
+        repaired.validate().expect("sanitize repairs the edit");
+    }
+
+    #[test]
+    fn validate_rejects_leave_of_unknown_and_same_interval_joiner() {
+        let mut s = Scenario::generate(8, 10, &GenParams::default());
+        s.intervals[2].leaves.insert(0, 9_999_999);
+        assert_eq!(
+            s.validate(),
+            Err(ScenarioError::LeaveOfUnknown {
+                interval: 2,
+                member: 9_999_999
+            })
+        );
+
+        // A leave of a member that only joins in the same interval is
+        // equally invalid: managers apply leaves first.
+        let mut s = Scenario::generate(8, 10, &GenParams::default());
+        let (idx, joiner) = s
+            .intervals
+            .iter()
+            .enumerate()
+            .skip(1)
+            .find_map(|(i, iv)| iv.joins.first().map(|j| (i, j.member)))
+            .expect("some churn interval has a join");
+        s.intervals[idx].leaves.push(joiner);
+        assert_eq!(
+            s.validate(),
+            Err(ScenarioError::LeaveOfUnknown {
+                interval: idx,
+                member: joiner
+            })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_join_and_absent_loss_change() {
+        let mut s = Scenario::generate(8, 10, &GenParams::default());
+        let dup = s.intervals[0].joins[0].clone();
+        s.intervals[4].joins.push(dup.clone());
+        assert_eq!(
+            s.validate(),
+            Err(ScenarioError::DuplicateJoin {
+                interval: 4,
+                member: dup.member
+            })
+        );
+
+        let mut s = Scenario::generate(8, 10, &GenParams::default());
+        s.intervals[5].loss_changes.push((8_888_888, 0.5));
+        assert_eq!(
+            s.validate(),
+            Err(ScenarioError::LossChangeOfAbsent {
+                interval: 5,
+                member: 8_888_888
+            })
+        );
     }
 
     #[test]
